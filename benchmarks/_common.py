@@ -1,0 +1,35 @@
+"""Shared plumbing for the benchmark/experiment harness.
+
+Every ``bench_*.py`` file regenerates one table or figure from the
+experiment index in DESIGN.md.  Each emits:
+
+* a timing (pytest-benchmark) of the experiment's computational kernel,
+* the regenerated table, printed and written under
+  ``benchmarks/results/`` as both ``.txt`` and ``.csv``.
+
+Run everything with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+
+from repro.report.tables import render_table, write_csv
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(
+    experiment: str,
+    rows: Sequence[Mapping[str, object]],
+    title: str,
+    columns: "Sequence[str] | None" = None,
+) -> str:
+    """Print and persist one experiment's regenerated table."""
+    table = render_table(rows, columns=columns, title=title)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{experiment}.txt").write_text(table + "\n")
+    write_csv(RESULTS_DIR / f"{experiment}.csv", rows, columns=columns)
+    print(f"\n{table}\n")
+    return table

@@ -1,0 +1,72 @@
+"""Ablation A1 — natural self-routing vs greedy route pruning.
+
+How much of the natural route is redundant fan-out?  Measured answer:
+**none**.  Every point the natural route uses lies on the banyan-unique
+path from some member to some tap, so its removal severs that member's
+only way there — the natural region is exactly the union of forced
+paths and is therefore link-minimal.  Greedy pruning consequently saves
+0 links and 0 conflicts on every topology and workload, which is strong
+support for the paper's simple self-routing algorithm: there is nothing
+a smarter router could shed.
+"""
+
+import numpy as np
+from _common import emit
+
+from repro.core.conflict import analyze_conflicts
+from repro.core.routing import RoutingPolicy, route_conference
+from repro.analysis.worstcase import cube_adversarial_set
+from repro.topology.builders import PAPER_TOPOLOGIES, build
+from repro.workloads.generators import uniform_partition
+
+N_PORTS = 32
+TRIALS = 15
+
+
+def build_rows():
+    rows = []
+    natural = RoutingPolicy(prune=False)
+    pruned = RoutingPolicy(prune=True)
+    for name in PAPER_TOPOLOGIES:
+        net = build(name, N_PORTS)
+        stats = {"links_nat": [], "links_pru": [], "mult_nat": [], "mult_pru": []}
+        for i in range(TRIALS):
+            cs = uniform_partition(N_PORTS, load=0.75, seed=900 + i)
+            r_nat = [route_conference(net, c, natural) for c in cs]
+            r_pru = [route_conference(net, c, pruned) for c in cs]
+            stats["links_nat"].append(sum(r.n_links for r in r_nat))
+            stats["links_pru"].append(sum(r.n_links for r in r_pru))
+            stats["mult_nat"].append(analyze_conflicts(r_nat, net.n_stages).max_multiplicity)
+            stats["mult_pru"].append(analyze_conflicts(r_pru, net.n_stages).max_multiplicity)
+        rows.append(
+            {
+                "topology": name,
+                "links_natural": float(np.mean(stats["links_nat"])),
+                "links_pruned": float(np.mean(stats["links_pru"])),
+                "links_saved_pct": 100.0
+                * (1 - np.sum(stats["links_pru"]) / np.sum(stats["links_nat"])),
+                "mult_natural": float(np.mean(stats["mult_nat"])),
+                "mult_pruned": float(np.mean(stats["mult_pru"])),
+            }
+        )
+    return rows
+
+
+def test_a1_pruning(benchmark):
+    net = build("omega", N_PORTS)
+    cs = uniform_partition(N_PORTS, load=0.75, seed=3)
+    benchmark(lambda: [route_conference(net, c, RoutingPolicy(prune=True)) for c in cs])
+    rows = build_rows()
+    emit("a1_pruning", rows, title=f"A1: natural vs pruned routing (N={N_PORTS}, mean of {TRIALS} sets)")
+    for row in rows:
+        # The natural route is link-minimal: pruning finds nothing to cut.
+        assert row["links_pruned"] == row["links_natural"]
+        assert row["mult_pruned"] == row["mult_natural"]
+    # Pruning cannot beat the forced worst case: the adversarial set's
+    # conflicts survive because every pair's path through the hot link
+    # is unique.
+    net = build("indirect-binary-cube", N_PORTS)
+    adv = cube_adversarial_set(N_PORTS)
+    for policy in (RoutingPolicy(prune=False), RoutingPolicy(prune=True)):
+        routes = [route_conference(net, c, policy) for c in adv]
+        assert analyze_conflicts(routes, net.n_stages).max_multiplicity == 4

@@ -1,0 +1,64 @@
+"""Ablation A3 — the mux relay's latency value.
+
+Same comparison axis as A2, different metric: per-member *latency*,
+counted as switching stages traversed before the member's output tap.
+With the relay, block-local conferences exit after ``K`` stages (their
+span exponent); without it every signal crosses all ``n`` stages.  The
+clustered workload shows the relay at its best; uniform traffic still
+benefits because small conferences are usually sub-spanning.
+"""
+
+import numpy as np
+from _common import emit
+
+from repro.core.routing import RoutingPolicy, TapPolicy, route_conference
+from repro.topology.builders import PAPER_TOPOLOGIES, build
+from repro.workloads.generators import clustered, uniform_partition
+
+N_PORTS = 128
+TRIALS = 20
+
+
+def _latencies(net, sets, policy):
+    stages = []
+    for cs in sets:
+        for conf in cs:
+            route = route_conference(net, conf, policy)
+            stages.extend(route.taps.values())
+    return np.asarray(stages, dtype=float)
+
+
+def build_rows():
+    rows = []
+    for name in PAPER_TOPOLOGIES:
+        net = build(name, N_PORTS)
+        for workload, gen in (("uniform", uniform_partition), ("clustered", clustered)):
+            sets = [gen(N_PORTS, load=0.6, seed=400 + i) for i in range(TRIALS)]
+            on = _latencies(net, sets, RoutingPolicy(tap_policy=TapPolicy.EARLIEST))
+            off = _latencies(net, sets, RoutingPolicy(tap_policy=TapPolicy.FINAL))
+            rows.append(
+                {
+                    "topology": name,
+                    "workload": workload,
+                    "stages_relay_on": float(on.mean()),
+                    "stages_relay_off": float(off.mean()),
+                    "latency_saved_pct": 100.0 * (1 - on.mean() / off.mean()),
+                }
+            )
+    return rows
+
+
+def test_a3_mux_relay(benchmark):
+    net = build("indirect-binary-cube", N_PORTS)
+    cs = clustered(N_PORTS, load=0.6, seed=11)
+    benchmark(lambda: [route_conference(net, c) for c in cs])
+    rows = build_rows()
+    emit("a3_mux_relay", rows, title=f"A3: mux relay latency ablation (N={N_PORTS})")
+    n = N_PORTS.bit_length() - 1
+    for row in rows:
+        assert row["stages_relay_off"] == n  # without relay, all n stages
+        assert row["stages_relay_on"] < row["stages_relay_off"]
+    by = {(r["topology"], r["workload"]): r for r in rows}
+    # Locality amplifies the relay's value on the block-structured cube.
+    cube = by[("indirect-binary-cube", "clustered")]
+    assert cube["latency_saved_pct"] > by[("indirect-binary-cube", "uniform")]["latency_saved_pct"]

@@ -1,0 +1,77 @@
+"""Extension E4 — switch radix vs link dilation at fixed port count.
+
+The paper's class uses 2x2 switch modules; generalizing to r x r
+switches trades silicon in the modules against dilation on the links:
+at ``N = r**n`` the radix-``r`` cube's worst-case multiplicity is
+``r**floor(n/2)``, so at fixed ``N = 64`` the worst case drops from 8
+(r=2, n=6) to 4 (r=4, n=3) and back up to 8 (r=8, n=2, where a single
+mid-link sees everything).  The cost rows price the exchange with the
+same gate-equivalent model as T3: at N=64 the radix-4 design is the
+cheapest worst-case-safe configuration.
+"""
+
+from _common import emit
+
+from repro.analysis.theory import radix_cube_link_multiplicity, radix_max_multiplicity
+from repro.analysis.worstcase import matching_lower_bound
+from repro.topology.builders import radix_cube
+from repro.topology.permutations import digit_count
+
+N_PORTS = 64
+RADICES = (2, 4, 8)
+
+
+def cost_at_worst_dilation(n_ports: int, radix: int, dilation: int) -> int:
+    """Gate-equivalents of the radix-r cube provisioned for ``dilation``.
+
+    Same proxy as repro.analysis.cost: an r x r module costs ``r**2``
+    crosspoints plus ``r`` mixers of ``r`` inputs, replicated per
+    channel; the relay needs an (n+1)-to-1 mux per output.
+    """
+    n = digit_count(n_ports, radix)
+    switches = n * (n_ports // radix)
+    crosspoints = switches * radix * radix * dilation
+    mixer_inputs = switches * radix * radix * dilation
+    mux_inputs = n_ports * (n + 1)
+    return crosspoints + mixer_inputs + mux_inputs
+
+
+def build_rows():
+    rows = []
+    for radix in RADICES:
+        net = radix_cube(N_PORTS, radix)
+        n = net.n_stages
+        measured = matching_lower_bound(net).multiplicity
+        law = radix_max_multiplicity(n, radix)
+        rows.append(
+            {
+                "radix": radix,
+                "stages": n,
+                "switches": net.n_switches,
+                "worst_dilation_measured": measured,
+                "worst_dilation_law": law,
+                "gates_at_worst_dilation": cost_at_worst_dilation(N_PORTS, radix, measured),
+            }
+        )
+    return rows
+
+
+def test_e4_radix(benchmark):
+    benchmark(lambda: matching_lower_bound(radix_cube(N_PORTS, 4)))
+    rows = build_rows()
+    emit("e4_radix", rows, title=f"E4: switch radix vs worst-case dilation (N={N_PORTS})")
+    by = {r["radix"]: r for r in rows}
+    for row in rows:
+        assert row["worst_dilation_measured"] == row["worst_dilation_law"]
+    # The headline trade: radix 4 halves the worst case at N=64...
+    assert by[4]["worst_dilation_measured"] == by[2]["worst_dilation_measured"] // 2
+    # ...and is the cheapest worst-case-safe design of the three.
+    assert by[4]["gates_at_worst_dilation"] < by[2]["gates_at_worst_dilation"]
+    assert by[4]["gates_at_worst_dilation"] < by[8]["gates_at_worst_dilation"]
+    # Per-level laws hold at every radix (spot check mid-link).
+    for radix in RADICES:
+        n = by[radix]["stages"]
+        for t in range(1, n + 1):
+            assert radix_cube_link_multiplicity(t, n, radix) == min(
+                radix**t, radix ** (n - t)
+            )

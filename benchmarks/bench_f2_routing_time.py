@@ -1,0 +1,76 @@
+"""Experiment F2 — self-routing setup time vs network size.
+
+The abstract's "simpler self-routing algorithm" claim, measured: time
+to compute a conference route as ``N`` grows, per topology, for a fixed
+conference-size distribution.  The natural algorithm touches only the
+points a route uses, so per-conference cost grows with the route volume
+(O(K * 2^K) for span exponent K), not with network size.
+"""
+
+import pytest
+from _common import emit
+
+from repro.core.conference import Conference
+from repro.core.routing import route_conference
+from repro.topology.builders import PAPER_TOPOLOGIES, build
+from repro.util.rng import ensure_rng
+
+SIZES = (16, 64, 256, 1024)
+
+
+def sample_conferences(n_ports, count, seed=0):
+    rng = ensure_rng(seed)
+    confs = []
+    for i in range(count):
+        size = 2 + int(rng.poisson(2.0))
+        members = rng.choice(n_ports, size=min(size, n_ports), replace=False)
+        confs.append(Conference.of(int(m) for m in members))
+    return confs
+
+
+@pytest.mark.parametrize("n_ports", SIZES)
+@pytest.mark.parametrize("name", sorted(PAPER_TOPOLOGIES))
+def test_f2_routing_time(benchmark, name, n_ports):
+    net = build(name, n_ports)
+    confs = sample_conferences(n_ports, 32, seed=42)
+    net.successor_table  # warm the cached wiring tables
+    net.predecessor_table
+
+    def kernel():
+        for conf in confs:
+            route_conference(net, conf)
+
+    benchmark(kernel)
+
+
+def test_f2_summary_table(benchmark):
+    """Collects mean per-conference routing time into the F2 table."""
+    import time
+
+    rows = []
+    for name in sorted(PAPER_TOPOLOGIES):
+        for n_ports in SIZES:
+            net = build(name, n_ports)
+            confs = sample_conferences(n_ports, 32, seed=42)
+            net.successor_table
+            net.predecessor_table
+            t0 = time.perf_counter()
+            reps = 3
+            for _ in range(reps):
+                for conf in confs:
+                    route_conference(net, conf)
+            per_conf_us = (time.perf_counter() - t0) / (reps * len(confs)) * 1e6
+            rows.append(
+                {"topology": name, "N": n_ports, "route_time_us": round(per_conf_us, 1)}
+            )
+    benchmark(lambda: None)
+    emit("f2_routing_time", rows, title="F2: self-routing time per conference (microseconds)")
+    # Routing stays in the low-millisecond range even at N=1024 for every
+    # topology (generous bound: wall-clock of a shared machine, not a
+    # performance spec — the pytest-benchmark timings above are the data).
+    assert all(r["route_time_us"] < 50_000 for r in rows)
+    # And cost is driven by route volume, not port count: the jump from
+    # N=16 to N=1024 stays well under the 64x port ratio.
+    by = {(r["topology"], r["N"]): r["route_time_us"] for r in rows}
+    for name in ("baseline", "omega", "indirect-binary-cube"):
+        assert by[(name, 1024)] / by[(name, 16)] < 64

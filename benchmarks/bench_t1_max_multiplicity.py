@@ -1,0 +1,85 @@
+"""Experiment T1 — maximum conflict multiplicity vs network size.
+
+The paper's key quantity: the worst number of disjoint conferences
+competing for one inter-stage link, per topology, as ``N`` grows.
+Methods stack by strength: exhaustive enumeration (N <= 8), exact
+matching optimum over 2-member conferences (N <= 64), the explicit cube
+adversarial construction (any N), and the theoretical laws.
+
+Expected shape: cube and baseline follow ``2**floor(n/2)`` exactly;
+omega matches at even ``n`` and exceeds it at odd ``n``.
+"""
+
+from _common import emit
+
+from repro.analysis.theory import max_multiplicity_bound
+from repro.analysis.worstcase import (
+    cube_adversarial_set,
+    exhaustive_max_multiplicity,
+    matching_lower_bound,
+)
+from repro.core.conflict import analyze_conflicts
+from repro.core.routing import route_conference
+from repro.topology.builders import PAPER_TOPOLOGIES, build
+
+MATCHING_SIZES = (8, 16, 32, 64)
+CONSTRUCTION_SIZES = (128, 256, 1024)
+
+
+def build_rows():
+    rows = []
+    for name in PAPER_TOPOLOGIES:
+        for n_ports in MATCHING_SIZES:
+            n = n_ports.bit_length() - 1
+            row = {
+                "topology": name,
+                "N": n_ports,
+                "method": "exhaustive" if n_ports <= 8 else "matching-exact",
+                "max_multiplicity": (
+                    exhaustive_max_multiplicity(build(name, n_ports)).multiplicity
+                    if n_ports <= 8
+                    else matching_lower_bound(build(name, n_ports)).multiplicity
+                ),
+                "cube_baseline_law": max_multiplicity_bound(n),
+                "omega_bound": max_multiplicity_bound(n, topology="omega"),
+            }
+            rows.append(row)
+    # Constructive lower bounds scale to sizes the search cannot reach.
+    for n_ports in CONSTRUCTION_SIZES:
+        n = n_ports.bit_length() - 1
+        net = build("indirect-binary-cube", n_ports)
+        routes = [route_conference(net, c) for c in cube_adversarial_set(n_ports)]
+        rows.append(
+            {
+                "topology": "indirect-binary-cube",
+                "N": n_ports,
+                "method": "construction",
+                "max_multiplicity": analyze_conflicts(routes).max_multiplicity,
+                "cube_baseline_law": max_multiplicity_bound(n),
+                "omega_bound": max_multiplicity_bound(n, topology="omega"),
+            }
+        )
+    return rows
+
+
+def test_t1_max_multiplicity(benchmark):
+    benchmark(lambda: matching_lower_bound(build("indirect-binary-cube", 32)))
+    rows = build_rows()
+    emit(
+        "t1_max_multiplicity",
+        rows,
+        title="T1: worst-case conflict multiplicity vs N (higher = more link dilation needed)",
+    )
+    by_key = {(r["topology"], r["N"]): r for r in rows}
+    # Cube and baseline meet their law exactly at every measured size.
+    for name in ("indirect-binary-cube", "baseline"):
+        for n_ports in MATCHING_SIZES + CONSTRUCTION_SIZES:
+            row = by_key.get((name, n_ports))
+            if row is not None:
+                assert row["max_multiplicity"] == row["cube_baseline_law"]
+    # Omega exceeds the cube law at odd n and stays within its own bound.
+    assert by_key[("omega", 8)]["max_multiplicity"] == 3
+    assert by_key[("omega", 32)]["max_multiplicity"] == 6
+    for n_ports in MATCHING_SIZES:
+        row = by_key[("omega", n_ports)]
+        assert row["cube_baseline_law"] <= row["max_multiplicity"] <= row["omega_bound"]

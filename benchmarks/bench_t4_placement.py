@@ -1,0 +1,73 @@
+"""Experiment T4 — aligned (Yang 2001) vs arbitrary placement.
+
+The same conference-size workload placed two ways: buddy-aligned blocks
+vs uniformly random members.  On the cube (and, under buddy-prefix
+placement, omega) aligned placement is conflict-free — multiplicity 1,
+no dilation needed — while arbitrary placement demands several channels
+per link.  Baseline is the outlier: its recursive wiring splits by
+*high* address bits, so even buddy-placed blocks collide (canonically
+{0,1} vs {2,3}), which is presumably why the Yang-2001 design built on
+the indirect binary cube.  The exhaustive pairwise taxonomy behind
+these statements is in tests/analysis/test_aligned_guarantee.py.
+"""
+
+import numpy as np
+from _common import emit
+
+from repro.core.conflict import analyze_conflicts
+from repro.core.routing import route_conference
+from repro.topology.builders import PAPER_TOPOLOGIES, build
+from repro.workloads.generators import aligned_sets, uniform_partition
+
+N_PORTS = 128
+TRIALS = 30
+
+
+def _max_multiplicities(net, sets):
+    out = []
+    for cs in sets:
+        routes = [route_conference(net, c) for c in cs]
+        out.append(analyze_conflicts(routes, n_stages=net.n_stages).max_multiplicity)
+    return np.asarray(out)
+
+
+def build_rows():
+    rows = []
+    for name in PAPER_TOPOLOGIES:
+        net = build(name, N_PORTS)
+        for placement, gen in (("aligned", aligned_sets), ("uniform", uniform_partition)):
+            sets = [gen(N_PORTS, load=0.75, seed=500 + i) for i in range(TRIALS)]
+            arr = _max_multiplicities(net, sets)
+            rows.append(
+                {
+                    "topology": name,
+                    "placement": placement,
+                    "mean_dilation": float(arr.mean()),
+                    "max_dilation": int(arr.max()),
+                    "conflict_free_runs": int((arr <= 1).sum()),
+                    "trials": TRIALS,
+                }
+            )
+    return rows
+
+
+def test_t4_placement(benchmark):
+    net = build("indirect-binary-cube", N_PORTS)
+    cs = aligned_sets(N_PORTS, load=0.75, seed=1)
+    benchmark(lambda: [route_conference(net, c) for c in cs])
+    rows = build_rows()
+    emit(
+        "t4_placement",
+        rows,
+        title=f"T4: aligned vs arbitrary placement (N={N_PORTS}, {TRIALS} trials)",
+    )
+    by = {(r["topology"], r["placement"]): r for r in rows}
+    # Yang-2001 guarantee: aligned cube (and buddy-placed omega) are
+    # always conflict-free; baseline is not.
+    for name in ("indirect-binary-cube", "omega"):
+        assert by[(name, "aligned")]["conflict_free_runs"] == TRIALS
+        assert by[(name, "aligned")]["max_dilation"] == 1
+    assert by[("baseline", "aligned")]["max_dilation"] >= 2
+    # Arbitrary placement pays real dilation on every topology.
+    for name in PAPER_TOPOLOGIES:
+        assert by[(name, "uniform")]["max_dilation"] >= 2

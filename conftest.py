@@ -1,0 +1,7 @@
+"""Ensure the in-tree package is importable even without installation."""
+import sys
+from pathlib import Path
+
+_src = str(Path(__file__).parent / "src")
+if _src not in sys.path:
+    sys.path.insert(0, _src)

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Quickstart: build a conference network, route conferences, see conflicts.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ConferenceNetwork
+from repro.report.ascii import render_routes
+
+
+def main() -> None:
+    # A 16-port conference switching network on the indirect binary cube,
+    # with the Yang-2001 per-stage output-multiplexer relay and links
+    # dilated to 4 channels.
+    network = ConferenceNetwork.build("indirect-binary-cube", 16, dilation=4)
+
+    # Three simultaneous, disjoint conferences given as member port lists.
+    result = network.realize([
+        [0, 1, 2, 3],   # a block-aligned conference: combines in 2 stages
+        [4, 11],        # a straddling pair: needs the full network depth
+        [8, 9],         # an adjacent pair: combines in 1 stage
+    ])
+
+    # Every member receives exactly the mix of its whole conference —
+    # verified on the simulated hardware, not just on paper.
+    assert result.ok
+    print(render_routes(network.topology, result.routes))
+    print()
+    print("conflicts:", result.conflicts.describe())
+    for route in result.routes:
+        members = route.conference.members
+        print(
+            f"conference {route.conference.conference_id} {list(members)}: "
+            f"combined after {route.depth} stage(s), "
+            f"occupies {route.n_links} inter-stage links"
+        )
+
+    # The same conferences on an omega network: different link usage,
+    # same delivery guarantee.
+    omega = ConferenceNetwork.build("omega", 16, dilation=4)
+    print("\nomega:", omega.realize([[0, 1, 2, 3], [4, 11], [8, 9]]).conflicts.describe())
+
+
+if __name__ == "__main__":
+    main()

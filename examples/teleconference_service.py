@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""A day in the life of a teleconference bridge.
+
+Simulates a 64-port conferencing service under stochastic call traffic
+and shows the operator's capacity-planning question: how much link
+dilation does the switch need so that essentially no call is refused
+for lack of internal bandwidth?
+
+Run:  python examples/teleconference_service.py
+"""
+
+from repro import ConferenceNetwork
+from repro.analysis.theory import max_multiplicity_bound
+from repro.report.tables import render_table
+from repro.sim.scenarios import placement_comparison, run_traffic
+from repro.sim.traffic import TrafficConfig
+
+N_PORTS = 64
+BUSY_HOUR = TrafficConfig(arrival_rate=2.5, mean_holding=6.0, mean_size=4.0)
+
+
+def main() -> None:
+    n = N_PORTS.bit_length() - 1
+    worst = max_multiplicity_bound(n)
+    print(f"{N_PORTS}-port bridge; worst-case dilation would be {worst} "
+          f"(2^floor(n/2) for n={n} stages)\n")
+
+    # Sweep provisioning: how much of the worst case does real traffic use?
+    rows = []
+    for dilation in (1, 2, 3, 4, worst):
+        network = ConferenceNetwork.build("indirect-binary-cube", N_PORTS, dilation=dilation)
+        stats = run_traffic(network, BUSY_HOUR, duration=2000.0, seed=7)
+        rows.append({
+            "dilation": dilation,
+            "offered_calls": stats.offered,
+            "refused_for_capacity": stats.blocked["capacity"],
+            "refused_for_ports": stats.blocked["ports"],
+            "capacity_blocking_%": 100 * stats.capacity_blocking_probability,
+            "mean_live_conferences": stats.mean_occupancy,
+        })
+    print(render_table(rows, title=f"busy hour ({BUSY_HOUR.offered_erlangs:.0f} erlangs offered)"))
+
+    # The alternative: keep dilation 1 but control placement (Yang 2001).
+    print("\nSame traffic, dilation 1, arbitrary vs buddy-aligned member placement:")
+    out = placement_comparison(
+        "indirect-binary-cube", N_PORTS, dilation=1,
+        config=BUSY_HOUR, duration=2000.0, seed=7,
+    )
+    rows = [
+        {"placement": placement, **stats.summary()}
+        for placement, stats in out.items()
+    ]
+    print(render_table(rows, columns=[
+        "placement", "offered", "admitted", "blocked_capacity", "blocked_ports",
+        "capacity_blocking_probability",
+    ]))
+    print("\nAligned placement removes capacity blocking entirely — the "
+          "Yang-2001 design point — at the cost of pinning users to ports.")
+
+
+if __name__ == "__main__":
+    main()

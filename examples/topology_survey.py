@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Survey the paper's design space: baseline vs omega vs indirect binary cube.
+
+Answers the abstract's question experimentally for a chosen N: which
+standard multistage topology makes the best conference network under
+(a) adversarial traffic, (b) random traffic, and (c) hardware cost at
+the resulting provisioning.
+
+Run:  python examples/topology_survey.py [N]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import ConferenceNetwork, PAPER_TOPOLOGIES
+from repro.analysis.cost import direct_network_cost
+from repro.analysis.theory import max_multiplicity_bound
+from repro.analysis.worstcase import matching_lower_bound, matching_stage_profile
+from repro.report.tables import render_table
+from repro.topology.builders import build
+from repro.workloads.generators import uniform_partition
+
+
+def main(n_ports: int = 32) -> None:
+    n = n_ports.bit_length() - 1
+    rows = []
+    for name in PAPER_TOPOLOGIES:
+        net = build(name, n_ports)
+
+        # (a) Adversarial: exact worst case over 2-member conferences.
+        worst = matching_lower_bound(net).multiplicity
+        profile = matching_stage_profile(net)
+
+        # (b) Random traffic at 75% load.
+        cn = ConferenceNetwork.build(name, n_ports, dilation=n_ports)
+        dils = []
+        for seed in range(25):
+            cs = uniform_partition(n_ports, load=0.75, seed=seed)
+            dils.append(cn.conflicts(cn.route_set(cs)).required_dilation)
+
+        # (c) Hardware priced at worst-case provisioning.
+        cost = direct_network_cost(n_ports, topology=name, dilation=worst)
+
+        rows.append({
+            "topology": name,
+            "worst_dilation": worst,
+            "stage_profile": " ".join(map(str, profile)),
+            "random_p95_dilation": float(np.percentile(dils, 95)),
+            "gates_at_worst_provisioning": cost.total_gate_equivalents,
+        })
+
+    print(render_table(rows, title=f"conference-network survey, N={n_ports}"))
+    bound = max_multiplicity_bound(n)
+    omega_bound = max_multiplicity_bound(n, topology="omega")
+    print(f"\ncube/baseline law: 2^floor(n/2) = {bound}; "
+          f"omega upper bound: {omega_bound}")
+    print(
+        "Takeaway: baseline and the indirect binary cube share the "
+        "Θ(sqrt(N)) law; omega pays more at odd n. All three answer the "
+        "paper's question: standard topologies *do* work, at sqrt(N)-fold "
+        "link dilation."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 32)

@@ -1,0 +1,77 @@
+"""repro — multistage conference switching networks for group communication.
+
+A from-scratch reproduction of Yang & Wang, *A class of multistage
+conference switching networks for group communication* (ICPP 2002):
+multistage-network substrates (baseline, omega, indirect binary cube),
+fan-in/fan-out switch fabrics with the per-stage output-multiplexer
+relay, conference self-routing, routing-conflict multiplicity analysis,
+hardware cost models, and a dynamic-traffic simulator.
+
+Quickstart::
+
+    from repro import ConferenceNetwork
+
+    net = ConferenceNetwork.build("indirect-binary-cube", 64, dilation=8)
+    result = net.realize([[3, 17, 40], [5, 6, 7, 21]])
+    print(result.conflicts.describe())
+    assert result.ok  # every member heard the full mix
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduced evaluation.
+"""
+
+from repro.core import (
+    AdmissionController,
+    AdmissionDenied,
+    BuddyAllocator,
+    Conference,
+    ConferenceNetwork,
+    ConferenceSet,
+    ConflictReport,
+    RealizationResult,
+    Route,
+    RoutingPolicy,
+    TapPolicy,
+    UnroutableError,
+    analyze_conflicts,
+    place_aligned,
+    route_conference,
+)
+from repro.core import GroupConnection, route_group
+from repro.switching import CapacityExceeded, DeliveryReport, Fabric
+from repro.topology import (
+    PAPER_TOPOLOGIES,
+    TOPOLOGY_BUILDERS,
+    MultistageNetwork,
+    build,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDenied",
+    "BuddyAllocator",
+    "CapacityExceeded",
+    "Conference",
+    "ConferenceNetwork",
+    "ConferenceSet",
+    "ConflictReport",
+    "DeliveryReport",
+    "Fabric",
+    "MultistageNetwork",
+    "PAPER_TOPOLOGIES",
+    "RealizationResult",
+    "Route",
+    "GroupConnection",
+    "RoutingPolicy",
+    "TOPOLOGY_BUILDERS",
+    "TapPolicy",
+    "UnroutableError",
+    "analyze_conflicts",
+    "build",
+    "place_aligned",
+    "route_conference",
+    "route_group",
+    "__version__",
+]

@@ -1,0 +1,91 @@
+"""Analysis: closed-form theory, worst-case search, hardware cost, equivalence."""
+
+from repro.analysis.cost import (
+    HardwareCost,
+    cost_table,
+    crossbar_cost,
+    direct_network_cost,
+    yang2001_cost,
+)
+from repro.analysis.erlang import (
+    LinkLoadModel,
+    erlang_b,
+    estimate_link_model,
+    predicted_blocking,
+)
+from repro.analysis.equivalence import (
+    find_port_relabelling,
+    path_matrix_signature,
+    same_structure,
+)
+from repro.analysis.theory import (
+    cube_link_multiplicity,
+    cube_route_points,
+    cube_route_rows,
+    cube_tap_level,
+    cube_uses_link,
+    general_link_multiplicity_bound,
+    max_multiplicity_bound,
+    omega_full_combination_rows,
+    omega_link_multiplicity_bound,
+    omega_reachable_mask,
+    omega_tap_level,
+    relay_tap_slots_bound,
+    stage_profile_law,
+)
+from repro.analysis.resilience import (
+    SurvivabilityReport,
+    critical_points,
+    random_link_faults,
+    survivability,
+)
+from repro.analysis.scheduling import ScheduleResult, conflict_graph, schedule_slots
+from repro.analysis.worstcase import (
+    SearchResult,
+    cube_adversarial_set,
+    exhaustive_max_multiplicity,
+    matching_lower_bound,
+    matching_stage_profile,
+    randomized_search,
+)
+
+__all__ = [
+    "HardwareCost",
+    "LinkLoadModel",
+    "ScheduleResult",
+    "SurvivabilityReport",
+    "conflict_graph",
+    "critical_points",
+    "erlang_b",
+    "estimate_link_model",
+    "predicted_blocking",
+    "random_link_faults",
+    "schedule_slots",
+    "survivability",
+    "SearchResult",
+    "cost_table",
+    "crossbar_cost",
+    "cube_adversarial_set",
+    "cube_route_points",
+    "cube_route_rows",
+    "cube_tap_level",
+    "cube_uses_link",
+    "direct_network_cost",
+    "exhaustive_max_multiplicity",
+    "find_port_relabelling",
+    "cube_link_multiplicity",
+    "general_link_multiplicity_bound",
+    "matching_lower_bound",
+    "matching_stage_profile",
+    "max_multiplicity_bound",
+    "omega_full_combination_rows",
+    "omega_reachable_mask",
+    "omega_tap_level",
+    "path_matrix_signature",
+    "randomized_search",
+    "same_structure",
+    "omega_link_multiplicity_bound",
+    "relay_tap_slots_bound",
+    "stage_profile_law",
+    "yang2001_cost",
+]

@@ -1,0 +1,159 @@
+"""Hardware cost and routing-complexity models.
+
+The abstract poses the design question as a trade: can standard
+multistage topologies give "more regular network structure, simpler
+self-routing algorithm and less hardware cost" than the enhanced
+Yang-2001 network?  This module prices the alternatives with the
+standard switching-theory cost proxies so experiment T3 can tabulate
+them:
+
+* **crosspoints** — contact count of the switching elements (a 2x2
+  element with broadcast costs 4; an ``N x N`` crossbar costs ``N**2``);
+* **mixer inputs** — fan-in (signal combining) hardware, counted as the
+  total number of combiner input ports;
+* **mux inputs** — data inputs of the output-relay multiplexers;
+* **dilation** — conflict provisioning multiplies the per-link datapath
+  (switch crosspoints and mixers, not the relay muxes).
+
+All designs here provide the same *guarantee*: any family of disjoint
+conferences can be carried simultaneously.  The direct designs buy that
+guarantee with ``Θ(sqrt(N))`` dilation (this reproduction's verified
+worst case); the aligned design buys it with placement constraints; the
+crossbar buys it with ``Θ(N**2)`` contacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.theory import max_multiplicity_bound
+from repro.util.validation import check_network_size
+
+__all__ = ["HardwareCost", "crossbar_cost", "yang2001_cost", "direct_network_cost", "cost_table"]
+
+
+@dataclass(frozen=True)
+class HardwareCost:
+    """Cost breakdown of one conference-network design.
+
+    ``total_gate_equivalents`` is the headline scalar used in the cost
+    tables: crosspoints + mixer inputs + mux inputs, a deliberately
+    simple proxy (matching the granularity switching papers of the era
+    used) rather than a technology-accurate gate count.
+    """
+
+    design: str
+    n_ports: int
+    crosspoints: int
+    mixer_inputs: int
+    mux_inputs: int
+    dilation: int
+    stages: int
+
+    @property
+    def total_gate_equivalents(self) -> int:
+        """Headline hardware cost scalar."""
+        return self.crosspoints + self.mixer_inputs + self.mux_inputs
+
+    def row(self) -> dict[str, int | str]:
+        """Flat dict for table rendering / CSV output."""
+        return {
+            "design": self.design,
+            "N": self.n_ports,
+            "stages": self.stages,
+            "dilation": self.dilation,
+            "crosspoints": self.crosspoints,
+            "mixer_inputs": self.mixer_inputs,
+            "mux_inputs": self.mux_inputs,
+            "total": self.total_gate_equivalents,
+        }
+
+
+def crossbar_cost(n_ports: int) -> HardwareCost:
+    """An ``N x N`` crossbar conference network.
+
+    One contact per (input, output) pair plus, per output, an ``N``-way
+    mixer that can sum any subset of inputs.  Conflict-free by
+    construction, quadratic in silicon.
+    """
+    check_network_size(n_ports)
+    return HardwareCost(
+        design="crossbar",
+        n_ports=n_ports,
+        crosspoints=n_ports * n_ports,
+        mixer_inputs=n_ports * n_ports,
+        mux_inputs=0,
+        dilation=1,
+        stages=1,
+    )
+
+
+def _min_base_cost(n_ports: int, dilation: int) -> tuple[int, int, int]:
+    """(crosspoints, mixer inputs, stages) of an n-stage 2x2 MIN.
+
+    Each of the ``n * N/2`` switch modules: 4 crosspoints and two 2-input
+    mixers, all replicated per dilation channel.
+    """
+    n = check_network_size(n_ports)
+    switches = n * (n_ports // 2)
+    return 4 * switches * dilation, 4 * switches * dilation, n
+
+
+def yang2001_cost(n_ports: int) -> HardwareCost:
+    """The Yang-2001 enhanced cube design (aligned placement).
+
+    Base cube network at dilation 1 plus the per-stage output relay:
+    every output owns an ``(n+1)``-to-1 multiplexer.  Conflict-freedom
+    comes from the placement discipline, not extra links.
+    """
+    n = check_network_size(n_ports)
+    xp, mix, stages = _min_base_cost(n_ports, dilation=1)
+    return HardwareCost(
+        design="yang2001-cube-aligned",
+        n_ports=n_ports,
+        crosspoints=xp,
+        mixer_inputs=mix,
+        mux_inputs=n_ports * (n + 1),
+        dilation=1,
+        stages=stages,
+    )
+
+
+def direct_network_cost(
+    n_ports: int,
+    topology: str = "indirect-binary-cube",
+    dilation: "int | None" = None,
+    relay: bool = True,
+) -> HardwareCost:
+    """A direct standard topology provisioned for worst-case traffic.
+
+    ``dilation`` defaults to the verified worst-case multiplicity
+    ``2**floor(n/2)``; pass a smaller value to price statistical
+    provisioning (paired with the blocking-probability experiment F3).
+    """
+    n = check_network_size(n_ports)
+    if dilation is None:
+        dilation = max_multiplicity_bound(n)
+    if dilation < 1:
+        raise ValueError(f"dilation must be >= 1, got {dilation}")
+    xp, mix, stages = _min_base_cost(n_ports, dilation)
+    return HardwareCost(
+        design=f"direct-{topology}-d{dilation}",
+        n_ports=n_ports,
+        crosspoints=xp,
+        mixer_inputs=mix,
+        mux_inputs=n_ports * (n + 1) * (1 if relay else 0),
+        dilation=dilation,
+        stages=stages,
+    )
+
+
+def cost_table(n_ports_list: "list[int] | tuple[int, ...]") -> list[HardwareCost]:
+    """The T3 cost comparison across designs for each network size."""
+    rows: list[HardwareCost] = []
+    for n_ports in n_ports_list:
+        rows.append(crossbar_cost(n_ports))
+        rows.append(yang2001_cost(n_ports))
+        rows.append(direct_network_cost(n_ports))
+        rows.append(direct_network_cost(n_ports, dilation=2))
+    return rows

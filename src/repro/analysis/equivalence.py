@@ -1,0 +1,111 @@
+"""Topological equivalence of the paper's three networks.
+
+Baseline, omega and the indirect binary cube are classically known to be
+*topologically equivalent*: relabelling inputs and outputs turns one
+into another.  Conference behaviour nevertheless differs, because a
+conference is pinned to concrete port numbers — a relabelling that makes
+the graphs coincide also relabels the conference.  This module provides
+the machinery behind that observation: digest comparison for structural
+equivalence, and a search for an explicit port relabelling mapping one
+network's unique-path structure onto another's.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations as iter_permutations
+
+from repro.topology.graph import unique_path
+from repro.topology.network import MultistageNetwork
+from repro.topology.properties import structure_digest
+
+__all__ = ["same_structure", "find_port_relabelling", "path_matrix_signature"]
+
+
+def same_structure(a: MultistageNetwork, b: MultistageNetwork) -> bool:
+    """Structural (label-free) equivalence via colour-refinement digests.
+
+    Equal digests are the standard Weisfeiler-Leman evidence for
+    isomorphism of the layered graphs; unequal digests are a proof of
+    non-isomorphism.
+    """
+    if a.n_ports != b.n_ports or a.n_stages != b.n_stages:
+        return False
+    return structure_digest(a) == structure_digest(b)
+
+
+def path_matrix_signature(net: MultistageNetwork) -> tuple[tuple[int, ...], ...]:
+    """For each (input, output) pair, the row profile of its unique path.
+
+    ``signature[i][j]`` packs the sequence of rows the ``i -> j`` path
+    visits, giving a complete functional description of a banyan
+    network.  Two networks are *functionally identical* (not merely
+    isomorphic) iff their signatures match.
+    """
+    n = net.n_ports
+    sig = []
+    for i in range(n):
+        row = []
+        for j in range(n):
+            path = unique_path(net, i, j)
+            packed = 0
+            for _, r in path:
+                packed = packed * n + r
+            row.append(packed)
+        sig.append(tuple(row))
+    return tuple(sig)
+
+
+def find_port_relabelling(
+    a: MultistageNetwork, b: MultistageNetwork, max_ports: int = 8
+) -> "tuple[tuple[int, ...], tuple[int, ...]] | None":
+    """Search for (input, output) relabellings making ``a`` act like ``b``.
+
+    Looks for permutations ``pi`` (inputs) and ``po`` (outputs) such that
+    the *switch-sharing pattern* of paths coincides: paths ``i1 -> j1``
+    and ``i2 -> j2`` in ``a`` share a stage-``s`` switch iff paths
+    ``pi(i1) -> po(j1)`` and ``pi(i2) -> po(j2)`` do in ``b``.  This is
+    the classical sense in which the three networks are equivalent.
+    Exhaustive, so limited to ``N <= max_ports``; returns None when no
+    relabelling exists.
+    """
+    n = a.n_ports
+    if n != b.n_ports or a.n_stages != b.n_stages:
+        return None
+    if n > max_ports:
+        raise ValueError(f"exhaustive relabelling search limited to N <= {max_ports}")
+
+    def switch_pattern(net: MultistageNetwork) -> dict[tuple[int, int, int], tuple[tuple[int, int], ...]]:
+        # For each (stage, switch): the set of (input, output) paths through it.
+        pat: dict[tuple[int, int], set[tuple[int, int]]] = {}
+        for i in range(n):
+            for j in range(n):
+                for (lvl, row) in unique_path(net, i, j)[:-1]:
+                    sw = net.stages[lvl].switch_of_row(row)
+                    pat.setdefault((lvl, sw), set()).add((i, j))
+        return {k + (0,): tuple(sorted(v)) for k, v in pat.items()}
+
+    pat_a = switch_pattern(a)
+    pat_b = switch_pattern(b)
+    groups_a = {k[:2]: set(v) for k, v in pat_a.items()}
+    groups_b = {k[:2]: set(v) for k, v in pat_b.items()}
+
+    ports = tuple(range(n))
+    for pi in iter_permutations(ports):
+        # Prune with the first stage before trying output permutations:
+        # stage-0 switch groups depend only on inputs.
+        stage0_a = {frozenset(i for i, _ in grp) for (lvl, _), grp in groups_a.items() if lvl == 0}
+        stage0_a = {frozenset(pi[i] for i in s) for s in stage0_a}
+        stage0_b = {frozenset(i for i, _ in grp) for (lvl, _), grp in groups_b.items() if lvl == 0}
+        if stage0_a != stage0_b:
+            continue
+        for po in iter_permutations(ports):
+            ok = True
+            mapped = {
+                key: {(pi[i], po[j]) for i, j in grp}
+                for key, grp in groups_a.items()
+            }
+            if set(map(frozenset, mapped.values())) != set(map(frozenset, groups_b.values())):
+                ok = False
+            if ok:
+                return tuple(pi), tuple(po)
+    return None

@@ -1,0 +1,117 @@
+"""Fault tolerance of conference networks.
+
+A banyan network has a single path between any input/output pair, so a
+plain multistage network loses connections as soon as anything breaks.
+The per-stage output-multiplexer relay changes that for conferences: a
+member whose earliest tap link died can fall back to a *later* level at
+which the full combination also reaches its row — the relay is not only
+a latency optimization but a redundancy mechanism.  This module
+quantifies that: fault injection, survivability measurement, and the
+relay-on/relay-off comparison (experiment E2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.conference import Conference
+from repro.core.routing import RoutingPolicy, TapPolicy, UnroutableError, route_conference
+from repro.topology.network import MultistageNetwork, Point
+from repro.util.rng import ensure_rng
+
+__all__ = [
+    "random_link_faults",
+    "SurvivabilityReport",
+    "survivability",
+    "critical_points",
+]
+
+
+def random_link_faults(
+    net: MultistageNetwork,
+    count: int,
+    seed: "int | np.random.Generator | None" = None,
+    include_injections: bool = False,
+) -> frozenset[Point]:
+    """Draw ``count`` distinct dead points uniformly at random.
+
+    By default only inter-stage links (levels ``1..n``) fail; set
+    ``include_injections`` to let level-0 input wires fail too (which
+    cuts members off entirely).
+    """
+    levels = range(0 if include_injections else 1, net.n_stages + 1)
+    universe = [(t, r) for t in levels for r in range(net.n_ports)]
+    if count > len(universe):
+        raise ValueError(f"cannot fail {count} of {len(universe)} points")
+    rng = ensure_rng(seed)
+    chosen = rng.choice(len(universe), size=count, replace=False)
+    return frozenset(universe[int(i)] for i in chosen)
+
+
+@dataclass(frozen=True)
+class SurvivabilityReport:
+    """Outcome of routing a set of conferences under a fault set."""
+
+    n_conferences: int
+    routed: int
+    faults: frozenset[Point]
+
+    @property
+    def survival_rate(self) -> float:
+        """Fraction of conferences still routable."""
+        return self.routed / self.n_conferences if self.n_conferences else 1.0
+
+
+def survivability(
+    net: MultistageNetwork,
+    conferences: Iterable[Conference],
+    faults: frozenset[Point],
+    relay_enabled: bool = True,
+) -> SurvivabilityReport:
+    """Route each conference individually under ``faults``.
+
+    Conferences are evaluated independently (capacity is not the
+    question here; routability is).  ``relay_enabled=False`` forces
+    final-stage taps, exposing how much of the tolerance comes from the
+    relay's tap-level freedom.
+    """
+    policy = RoutingPolicy(
+        tap_policy=TapPolicy.EARLIEST if relay_enabled else TapPolicy.FINAL
+    )
+    conferences = list(conferences)
+    routed = 0
+    for conf in conferences:
+        try:
+            route_conference(net, conf, policy, faults=faults)
+        except UnroutableError:
+            continue
+        routed += 1
+    return SurvivabilityReport(
+        n_conferences=len(conferences), routed=routed, faults=faults
+    )
+
+
+def critical_points(
+    net: MultistageNetwork, conference: Conference, relay_enabled: bool = True
+) -> frozenset[Point]:
+    """Single points of failure for one conference.
+
+    Returns every point whose individual death makes the conference
+    unroutable.  With the relay, a conference's critical set shrinks to
+    the points *every* surviving tap assignment needs; without it, every
+    point of the natural route is critical (banyan paths are unique).
+    """
+    policy = RoutingPolicy(
+        tap_policy=TapPolicy.EARLIEST if relay_enabled else TapPolicy.FINAL
+    )
+    base = route_conference(net, conference, policy)
+    critical = set()
+    for point in base.points:
+        try:
+            route_conference(net, conference, policy, faults=frozenset({point}))
+        except UnroutableError:
+            critical.add(point)
+    return frozenset(critical)

@@ -1,0 +1,318 @@
+"""Closed-form theory of conference routing conflicts.
+
+This module states, as executable formulas, the analytical results our
+reproduction derives for the paper's question (see DESIGN.md for the
+full derivation and the source-text caveat).  Everything here is
+*verified against the generic routing engine* by the test suite —
+exhaustively at small ``N`` and by exact matching search beyond — so the
+formulas function as theorems about the implemented system, not just
+assertions.
+
+Main results
+------------
+
+1. **Cube link-usage law.** On the indirect binary cube, the natural
+   route of conference ``S`` uses inter-stage link ``(t, r)`` iff some
+   member agrees with ``r`` on bits ``t..n-1`` and some member agrees
+   with ``r`` on bits ``0..t-1`` (:func:`cube_uses_link`).
+
+2. **Cube/baseline per-stage law.** On the indirect binary cube at most
+   ``f(t) = min(2**t, 2**(n-t))`` disjoint conferences can use one
+   level-``t`` link: the link's backward cone contains at most ``2**t``
+   inputs and each conference must own one, while the link's forward
+   cones are *nested row sets* within one aligned block, so all
+   reachable tap rows live in a set of ``2**(n-t)`` rows, of which each
+   conference must own one.  The bound is met by the explicit
+   construction :func:`~repro.analysis.worstcase.cube_adversarial_set`;
+   baseline measures to exactly the same profile (its forward cones nest
+   the same way within its recursive blocks).
+
+3. **Omega is different.** Omega's forward cones *shift* across levels
+   rather than nest, so the reachable tap rows across levels
+   ``t..n`` number up to ``2**(n-t+1) - 1``, giving the weaker law
+   ``f(t) <= min(2**t, 2**(n-t+1) - 1)`` — and omega really does exceed
+   the cube law (multiplicity 3 at ``N = 8`` where the cube gives 2;
+   6 at ``N = 32`` where the cube gives 4).  The slot bound is not
+   always met because a member's tap level is pinned to its *earliest*
+   full-combination level; the exact values are measured by
+   :func:`~repro.analysis.worstcase.matching_stage_profile`.
+
+4. **Network-wide worst case.** ``2**floor(n/2) = Θ(sqrt(N))`` for the
+   cube and baseline (:func:`max_multiplicity_bound`); for omega the
+   same at even ``n`` but up to ``2**((n+1)/2) - 1`` — roughly ``sqrt(2)``
+   times worse — at odd ``n``.
+
+5. **Aligned placement is conflict-free on the cube.**  A conference
+   confined to an aligned block never routes outside the block's rows
+   (:func:`cube_route_rows`), so block-disjoint conferences share no
+   links — the Yang-2001 guarantee the paper's design question starts
+   from.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.conference import Conference
+from repro.util.bits import (
+    bit_window,
+    enclosing_block_exponent,
+    high_bits,
+    low_bits,
+    same_high_bits,
+    same_low_bits,
+)
+from repro.util.validation import check_network_size
+
+__all__ = [
+    "cube_link_multiplicity",
+    "omega_link_multiplicity_bound",
+    "general_link_multiplicity_bound",
+    "relay_tap_slots_bound",
+    "max_multiplicity_bound",
+    "stage_profile_law",
+    "cube_tap_level",
+    "cube_uses_link",
+    "cube_route_rows",
+    "cube_route_points",
+    "omega_reachable_mask",
+    "omega_full_combination_rows",
+    "omega_tap_level",
+    "expected_unique_path_links",
+    "radix_cube_link_multiplicity",
+    "radix_max_multiplicity",
+]
+
+
+# ---------------------------------------------------------------------------
+# Per-stage multiplicity laws
+# ---------------------------------------------------------------------------
+
+def cube_link_multiplicity(t: int, n: int) -> int:
+    """Exact max disjoint conferences through a level-``t`` cube link.
+
+    ``f(t) = min(2**t, 2**(n-t))`` for an ``N = 2**n`` indirect binary
+    cube — proved by the nested-cone counting argument and achieved by
+    :func:`~repro.analysis.worstcase.cube_adversarial_set`.  Measured to
+    be exact for the baseline network as well.
+    """
+    if not 1 <= t <= n:
+        raise ValueError(f"link level t must be in [1, {n}], got {t}")
+    return 1 << min(t, n - t)
+
+
+def relay_tap_slots_bound(t: int, n: int) -> int:
+    """Upper bound on tap rows reachable from one level-``t`` link.
+
+    A level-``t`` point reaches at most ``2**d`` rows at level ``t+d``;
+    summed over the remaining levels that is ``2**(n-t+1) - 1`` distinct
+    (level, row) slots, hence at most that many distinct tap *rows*.
+    Loose when the per-level cones overlap as row sets (they nest on the
+    cube and baseline, collapsing the bound to ``2**(n-t)``).
+    """
+    if not 1 <= t <= n:
+        raise ValueError(f"link level t must be in [1, {n}], got {t}")
+    return (1 << (n - t + 1)) - 1
+
+
+def general_link_multiplicity_bound(t: int, n: int) -> int:
+    """Universal per-link bound for any banyan 2x2 network with relay.
+
+    ``min(2**t, 2**(n-t+1) - 1)``: one distinct backward-cone input and
+    one distinct reachable tap row per conference.
+    """
+    return min(1 << t, relay_tap_slots_bound(t, n))
+
+
+def omega_link_multiplicity_bound(t: int, n: int) -> int:
+    """Per-link bound specialized to omega (same as the general bound).
+
+    Omega's shifting cones can keep the per-level tap sets disjoint, so
+    it genuinely exceeds the cube law (e.g. 3 vs 2 at ``N = 8``, level
+    2); the earliest-tap pinning keeps it slightly below this bound at
+    some levels, which the matching experiments quantify.
+    """
+    return general_link_multiplicity_bound(t, n)
+
+
+def max_multiplicity_bound(n: int, topology: str = "indirect-binary-cube") -> int:
+    """Worst-case conflict multiplicity over the whole network.
+
+    For the cube and baseline this is the exact ``2**floor(n/2)`` =
+    ``Θ(sqrt(N))``.  For omega it is the per-link bound maximized over
+    levels: the same value at even ``n``, ``2**((n+1)//2) - 1`` at odd
+    ``n``.
+    """
+    if n < 1:
+        raise ValueError(f"need at least one stage, got n={n}")
+    if topology == "omega":
+        return max(general_link_multiplicity_bound(t, n) for t in range(1, n + 1))
+    return 1 << (n // 2)
+
+
+def stage_profile_law(n: int, topology: str = "indirect-binary-cube") -> tuple[int, ...]:
+    """The per-link-level law as a profile ``(f(1), ..., f(n))``.
+
+    Exact for the cube and (measured) baseline; an upper bound for
+    omega.
+    """
+    if topology == "omega":
+        return tuple(omega_link_multiplicity_bound(t, n) for t in range(1, n + 1))
+    return tuple(cube_link_multiplicity(t, n) for t in range(1, n + 1))
+
+
+# ---------------------------------------------------------------------------
+# Indirect binary cube closed forms
+# ---------------------------------------------------------------------------
+
+def cube_tap_level(members: Iterable[int], n: int) -> int:
+    """Earliest level at which the cube combines a conference fully.
+
+    Equals the enclosing-block exponent ``K``: after stage ``K`` *every*
+    row of the block carries the full combination, and no member row
+    does earlier.  Identical for all members (unlike omega).
+    """
+    return enclosing_block_exponent(members, n)
+
+
+def cube_uses_link(conference: "Conference | Sequence[int]", t: int, r: int, n_ports: int) -> bool:
+    """Closed-form predicate: does the natural cube route use link ``(t, r)``?
+
+    True iff ``t`` is at most the conference's tap level ``K`` and the
+    two existential conditions hold: a member matching ``r`` on bits
+    ``t..n-1`` (its signal can sit on the link) and a member matching
+    ``r`` on bits ``0..t-1`` (the link still leads to a tap).
+    """
+    n = check_network_size(n_ports)
+    members = conference.members if isinstance(conference, Conference) else tuple(conference)
+    if not 1 <= t <= n:
+        raise ValueError(f"link level t must be in [1, {n}], got {t}")
+    if t > cube_tap_level(members, n):
+        return False
+    fwd = any(same_high_bits(s, r, t, n) for s in members)
+    bwd = any(same_low_bits(j, r, t) for j in members)
+    return fwd and bwd
+
+
+def cube_route_rows(conference: "Conference | Sequence[int]", t: int, n_ports: int) -> frozenset[int]:
+    """All rows whose level-``t`` link the natural cube route uses.
+
+    Derived from :func:`cube_uses_link`: the used rows are exactly
+    ``{prefix | mid | lo}`` where ``prefix`` is the conference's common
+    high bits, ``mid`` ranges over members' bits ``t..K-1`` and ``lo``
+    over members' bits ``0..t-1``.  Always a subset of the enclosing
+    aligned block — the fact behind the aligned-placement guarantee.
+    """
+    n = check_network_size(n_ports)
+    members = conference.members if isinstance(conference, Conference) else tuple(conference)
+    k = cube_tap_level(members, n)
+    if t > k:
+        return frozenset()
+    prefix = high_bits(members[0], k, n) << k
+    mids = {bit_window(m, t, k) for m in members}
+    los = {low_bits(m, t) for m in members}
+    return frozenset(prefix | (mid << t) | lo for mid in mids for lo in los)
+
+
+def cube_route_points(conference: "Conference | Sequence[int]", n_ports: int) -> frozenset[tuple[int, int]]:
+    """Every point the natural cube route occupies, in closed form.
+
+    Level-0 points are the member injections; deeper levels follow
+    :func:`cube_route_rows`.  Cross-validated against the generic
+    routing engine in the test suite (exhaustively at ``N = 8``).
+    """
+    members = conference.members if isinstance(conference, Conference) else tuple(conference)
+    n = check_network_size(n_ports)
+    points = {(0, m) for m in members}
+    for t in range(1, cube_tap_level(members, n) + 1):
+        points.update((t, r) for r in cube_route_rows(members, t, n_ports))
+    return frozenset(points)
+
+
+# ---------------------------------------------------------------------------
+# Omega closed forms
+# ---------------------------------------------------------------------------
+
+def omega_reachable_mask(source: int, t: int, r: int, n: int) -> bool:
+    """Can input ``source`` reach point ``(t, r)`` in an omega network?
+
+    After ``t`` shuffle-exchange stages the low ``n - t`` bits of the
+    source occupy the high ``n - t`` bits of the row; the ``t`` bits
+    shuffled past the exchanges are free.
+    """
+    return low_bits(source, n - t) == high_bits(r, t, n)
+
+
+def omega_full_combination_rows(members: Iterable[int], t: int, n: int) -> frozenset[int]:
+    """Rows carrying the full combination at level ``t`` of an omega network.
+
+    Non-empty iff all members agree on their low ``n - t`` bits; then the
+    qualifying rows are those whose high bits equal that common suffix.
+    """
+    members = tuple(members)
+    suffixes = {low_bits(m, n - t) for m in members}
+    if len(suffixes) != 1:
+        return frozenset()
+    suffix = next(iter(suffixes))
+    return frozenset((suffix << t) | lo for lo in range(1 << t))
+
+
+def omega_tap_level(members: Iterable[int], member: int, n: int) -> int:
+    """Earliest level at which omega fully combines ``members`` on
+    ``member``'s own row.
+
+    Unlike the cube, omega tap levels vary per member: the combined
+    signal first forms on rows named by the members' common *suffix*,
+    which generally differ from the member rows, and must fan out
+    further to reach them.
+    """
+    members = tuple(members)
+    if member not in members:
+        raise ValueError(f"port {member} is not among the members")
+    for t in range(n + 1):
+        if member in omega_full_combination_rows(members, t, n):
+            return t
+    raise AssertionError("omega has full access; level n always combines")
+
+
+# ---------------------------------------------------------------------------
+# Routing-cost model
+# ---------------------------------------------------------------------------
+
+def expected_unique_path_links(n: int) -> int:
+    """Links on one unique input->output path: one per stage."""
+    return n
+
+
+# ---------------------------------------------------------------------------
+# Radix-r generalization (extension)
+# ---------------------------------------------------------------------------
+
+def radix_cube_link_multiplicity(t: int, n: int, radix: int) -> int:
+    """Exact per-link law for the radix-``r`` cube: ``min(r**t, r**(n-t))``.
+
+    The binary argument generalizes verbatim: a level-``t`` link's
+    backward cone holds ``r**t`` inputs and its (nested) forward tap
+    rows number ``r**(n-t)``; the pair construction
+    ``{i, i * r**t}`` meets the bound.  Verified by matching-exact
+    search in the radix tests.
+    """
+    if radix < 2:
+        raise ValueError(f"radix must be >= 2, got {radix}")
+    if not 1 <= t <= n:
+        raise ValueError(f"link level t must be in [1, {n}], got {t}")
+    return radix ** min(t, n - t)
+
+
+def radix_max_multiplicity(n: int, radix: int) -> int:
+    """Network worst case for the radix-``r`` cube: ``r**floor(n/2)``.
+
+    At equal port count ``N = r**n = 2**(n log2 r)``, a larger radix
+    gives ``N**(1/2)`` with a smaller exponent base count — e.g. at
+    ``N = 64`` the worst case drops from 8 (radix 2) to 4 (radix 4) —
+    trading bigger switch modules for less link dilation (experiment
+    E4 prices the exchange).
+    """
+    if n < 1:
+        raise ValueError(f"need at least one stage, got n={n}")
+    return radix ** (n // 2)

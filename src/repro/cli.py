@@ -1,0 +1,220 @@
+"""Command-line interface: ``conference-net`` / ``python -m repro``.
+
+Subcommands regenerate the experiments from DESIGN.md's index and offer
+quick interactive inspection of networks and conference routings::
+
+    conference-net show --topology omega --ports 16
+    conference-net route --topology indirect-binary-cube --ports 16 \
+        --conference 0,5,9 --conference 12,13
+    conference-net worstcase --ports 16
+    conference-net cost --ports 16,64,256
+    conference-net blocking --topology omega --ports 64 --dilations 1,2,4,8
+    conference-net schedule --ports 32 --load 0.8
+    conference-net faults --ports 32 --count 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.analysis.cost import cost_table
+from repro.analysis.resilience import random_link_faults, survivability
+from repro.analysis.scheduling import schedule_slots
+from repro.analysis.theory import stage_profile_law
+from repro.analysis.worstcase import (
+    cube_adversarial_set,
+    matching_stage_profile,
+)
+from repro.core.network import ConferenceNetwork
+from repro.report.ascii import render_network, render_routes, render_stage_profile
+from repro.report.tables import render_table
+from repro.core.routing import route_conference
+from repro.sim.scenarios import blocking_vs_dilation
+from repro.topology.builders import PAPER_TOPOLOGIES, TOPOLOGY_BUILDERS, build
+from repro.workloads.generators import uniform_partition
+
+__all__ = ["main", "build_parser"]
+
+
+def _ports_list(text: str) -> list[int]:
+    return [int(x) for x in text.split(",") if x]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="conference-net",
+        description="Multistage conference switching networks (ICPP 2002 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    show = sub.add_parser("show", help="render a topology's wiring")
+    show.add_argument("--topology", default="indirect-binary-cube", choices=sorted(TOPOLOGY_BUILDERS))
+    show.add_argument("--ports", type=int, default=16)
+
+    route = sub.add_parser("route", help="route conferences and show link occupancy")
+    route.add_argument("--topology", default="indirect-binary-cube", choices=sorted(TOPOLOGY_BUILDERS))
+    route.add_argument("--ports", type=int, default=16)
+    route.add_argument(
+        "--conference",
+        action="append",
+        required=True,
+        metavar="P0,P1,...",
+        help="comma-separated member ports; repeat per conference",
+    )
+    route.add_argument("--no-relay", action="store_true", help="disable the output-mux relay")
+
+    worst = sub.add_parser("worstcase", help="per-stage worst-case multiplicity per topology")
+    worst.add_argument("--ports", type=int, default=16)
+
+    cost = sub.add_parser("cost", help="hardware cost comparison table")
+    cost.add_argument("--ports", type=_ports_list, default=[16, 64, 256], metavar="N1,N2,...")
+
+    blocking = sub.add_parser("blocking", help="blocking probability vs link dilation")
+    blocking.add_argument("--topology", default="omega", choices=sorted(TOPOLOGY_BUILDERS))
+    blocking.add_argument("--ports", type=int, default=64)
+    blocking.add_argument("--dilations", type=_ports_list, default=[1, 2, 4, 8], metavar="D1,D2,...")
+    blocking.add_argument("--duration", type=float, default=1000.0)
+    blocking.add_argument("--seed", type=int, default=0)
+
+    schedule = sub.add_parser(
+        "schedule", help="TDM slot assignment for a random conference set"
+    )
+    schedule.add_argument("--topology", default="indirect-binary-cube", choices=sorted(TOPOLOGY_BUILDERS))
+    schedule.add_argument("--ports", type=int, default=32)
+    schedule.add_argument("--load", type=float, default=0.8)
+    schedule.add_argument("--seed", type=int, default=0)
+
+    faults = sub.add_parser(
+        "faults", help="conference survivability under random link faults"
+    )
+    faults.add_argument("--topology", default="indirect-binary-cube", choices=sorted(TOPOLOGY_BUILDERS))
+    faults.add_argument("--ports", type=int, default=32)
+    faults.add_argument("--count", type=int, default=4, help="number of dead links")
+    faults.add_argument("--load", type=float, default=0.6)
+    faults.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    print(render_network(build(args.topology, args.ports)))
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    groups = [_ports_list(spec) for spec in args.conference]
+    network = ConferenceNetwork.build(
+        args.topology,
+        args.ports,
+        dilation=args.ports,  # generous so inspection never trips capacity
+        relay_enabled=not args.no_relay,
+    )
+    result = network.realize(groups)
+    print(render_routes(network.topology, result.routes))
+    print()
+    print(result.conflicts.describe())
+    print("delivery:", "correct" if result.ok else f"BROKEN: {result.delivery.errors}")
+    return 0 if result.ok else 1
+
+
+def _cmd_worstcase(args: argparse.Namespace) -> int:
+    n = args.ports.bit_length() - 1
+    profiles: dict[str, Sequence[int]] = {}
+    for name in PAPER_TOPOLOGIES:
+        profiles[f"{name} (measured)"] = matching_stage_profile(build(name, args.ports))
+    profiles["cube/baseline law"] = stage_profile_law(n)
+    profiles["omega upper bound"] = stage_profile_law(n, topology="omega")
+    print(render_stage_profile(profiles, title=f"worst-case multiplicity per link level, N={args.ports}"))
+    adv = cube_adversarial_set(args.ports)
+    print(f"\ncube adversarial witness (level {n // 2}): "
+          f"{[list(c.members) for c in adv]}")
+    return 0
+
+
+def _cmd_cost(args: argparse.Namespace) -> int:
+    rows = [c.row() for c in cost_table(args.ports)]
+    print(render_table(rows, title="hardware cost comparison (gate-equivalents)"))
+    return 0
+
+
+def _cmd_blocking(args: argparse.Namespace) -> int:
+    rows = blocking_vs_dilation(
+        args.topology, args.ports, args.dilations, duration=args.duration, seed=args.seed
+    )
+    print(render_table(rows, title=f"blocking vs dilation ({args.topology}, N={args.ports})"))
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    net = build(args.topology, args.ports)
+    workload = uniform_partition(args.ports, load=args.load, seed=args.seed)
+    routes = [route_conference(net, conf) for conf in workload]
+    result = schedule_slots(routes)
+    rows = [
+        {
+            "slot": slot,
+            "conferences": " ".join(
+                str(list(conf.members))
+                for conf in workload
+                if result.slots[conf.conference_id] == slot
+            ),
+        }
+        for slot in range(result.n_slots)
+    ]
+    print(render_table(rows, title=f"TDM schedule ({args.topology}, N={args.ports})"))
+    print(
+        f"\n{len(workload)} conferences -> {result.n_slots} slots "
+        f"(required dilation {result.clique_bound}; "
+        f"{'optimal' if result.optimal else 'gap ' + str(result.n_slots - result.clique_bound)})"
+    )
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    net = build(args.topology, args.ports)
+    workload = uniform_partition(args.ports, load=args.load, seed=args.seed)
+    dead = random_link_faults(net, args.count, seed=args.seed)
+    rows = []
+    for relay in (True, False):
+        rep = survivability(net, list(workload), dead, relay_enabled=relay)
+        rows.append(
+            {
+                "relay": "on" if relay else "off",
+                "conferences": rep.n_conferences,
+                "survive": rep.routed,
+                "survival_rate": rep.survival_rate,
+            }
+        )
+    print(f"dead links: {sorted(dead)}")
+    print(render_table(rows, title=f"survivability ({args.topology}, N={args.ports})"))
+    return 0
+
+
+_COMMANDS = {
+    "show": _cmd_show,
+    "route": _cmd_route,
+    "worstcase": _cmd_worstcase,
+    "cost": _cmd_cost,
+    "blocking": _cmd_blocking,
+    "schedule": _cmd_schedule,
+    "faults": _cmd_faults,
+}
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""The paper's core contribution: conference routing and conflict analysis."""
+
+from repro.core.admission import (
+    AdmissionController,
+    AdmissionDenied,
+    BuddyAllocator,
+    place_aligned,
+)
+from repro.core.churn import ChurnResult, apply_churn, join_member, leave_member
+from repro.core.conference import Conference, ConferenceSet
+from repro.core.conflict import ConflictReport, analyze_conflicts, link_loads
+from repro.core.groupcast import GroupConnection, GroupRoute, route_group
+from repro.core.network import ConferenceNetwork, RealizationResult
+from repro.core.routing import (
+    Route,
+    RoutingPolicy,
+    TapPolicy,
+    UnroutableError,
+    combine_at_level,
+    delivered_members,
+    route_conference,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDenied",
+    "BuddyAllocator",
+    "ChurnResult",
+    "Conference",
+    "ConferenceNetwork",
+    "ConferenceSet",
+    "ConflictReport",
+    "GroupConnection",
+    "GroupRoute",
+    "RealizationResult",
+    "Route",
+    "RoutingPolicy",
+    "TapPolicy",
+    "UnroutableError",
+    "analyze_conflicts",
+    "apply_churn",
+    "combine_at_level",
+    "delivered_members",
+    "join_member",
+    "leave_member",
+    "link_loads",
+    "place_aligned",
+    "route_conference",
+    "route_group",
+]

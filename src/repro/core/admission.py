@@ -1,0 +1,215 @@
+"""Conference placement and admission control.
+
+Two placement disciplines frame the paper's comparison:
+
+* **Aligned placement** (the Yang-2001 design): every conference is
+  assigned an exclusive *aligned block* of ports sized to the next power
+  of two, managed here by a classic buddy allocator.  On the indirect
+  binary cube this makes simultaneous conferences provably conflict-free
+  because a conference's route never leaves its block's rows.
+* **Arbitrary placement** (this paper's question): members sit wherever
+  the users happen to be attached; conflicts arise and their worst-case
+  multiplicity is the paper's key quantity.
+
+The :class:`AdmissionController` adds the dynamic dimension used by the
+discrete-event simulator: conferences join and leave over time, and a
+join is admitted only if the resulting link loads stay within the
+network's dilation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+from repro.core.conference import Conference, ConferenceSet
+from repro.core.network import ConferenceNetwork
+from repro.core.routing import Route
+from repro.topology.network import Point
+from repro.util.validation import check_network_size
+
+__all__ = ["BuddyAllocator", "place_aligned", "AdmissionController", "AdmissionDenied"]
+
+
+class BuddyAllocator:
+    """Power-of-two aligned block allocator over the port space.
+
+    Maintains free lists per block exponent; allocation splits the
+    smallest sufficient block (standard buddy discipline) and freeing
+    coalesces buddies.  Used to realize the aligned placement policy and
+    heavily property-tested (no overlap, coalescing restores the initial
+    state, etc.).
+    """
+
+    def __init__(self, n_ports: int):
+        self._n = check_network_size(n_ports)
+        self._n_ports = n_ports
+        # free[k] = set of aligned bases of free blocks of size 2**k.
+        self._free: list[set[int]] = [set() for _ in range(self._n + 1)]
+        self._free[self._n].add(0)
+        self._allocated: dict[int, int] = {}  # base -> exponent
+
+    @property
+    def n_ports(self) -> int:
+        """Total managed ports."""
+        return self._n_ports
+
+    def free_capacity(self) -> int:
+        """Number of currently unallocated ports."""
+        return sum(len(bases) << k for k, bases in enumerate(self._free))
+
+    def largest_free_exponent(self) -> int:
+        """Exponent of the largest free block, or -1 when full."""
+        for k in range(self._n, -1, -1):
+            if self._free[k]:
+                return k
+        return -1
+
+    def allocate(self, size: int) -> range:
+        """Allocate an aligned block holding at least ``size`` ports.
+
+        Returns the block as a range; raises ``MemoryError`` when no
+        block large enough is free (the caller treats this as call
+        blocking).
+        """
+        if size < 1 or size > self._n_ports:
+            raise ValueError(f"block size {size} out of range [1, {self._n_ports}]")
+        want = max(0, (size - 1).bit_length())
+        k = want
+        while k <= self._n and not self._free[k]:
+            k += 1
+        if k > self._n:
+            raise MemoryError(f"no free aligned block of size {1 << want}")
+        base = min(self._free[k])
+        self._free[k].remove(base)
+        while k > want:  # split down to the requested exponent
+            k -= 1
+            self._free[k].add(base + (1 << k))
+        self._allocated[base] = want
+        return range(base, base + (1 << want))
+
+    def release(self, base: int) -> None:
+        """Free the allocated block starting at ``base``, coalescing buddies."""
+        try:
+            k = self._allocated.pop(base)
+        except KeyError:
+            raise KeyError(f"no allocated block at base {base}") from None
+        while k < self._n:
+            buddy = base ^ (1 << k)
+            if buddy not in self._free[k]:
+                break
+            self._free[k].remove(buddy)
+            base = min(base, buddy)
+            k += 1
+        self._free[k].add(base)
+
+    def allocations(self) -> dict[int, int]:
+        """Snapshot of live allocations: base -> exponent."""
+        return dict(self._allocated)
+
+
+def place_aligned(n_ports: int, sizes: Sequence[int]) -> ConferenceSet:
+    """Place conferences of the given sizes into disjoint aligned blocks.
+
+    Each conference of size ``m`` occupies the first ``m`` ports of a
+    buddy-allocated block of size ``2**ceil(log2 m)`` — the Yang-2001
+    discipline.  Raises ``MemoryError`` when the sizes do not fit.
+    """
+    alloc = BuddyAllocator(n_ports)
+    groups = []
+    # Largest first minimizes fragmentation, like any buddy system.
+    order = sorted(range(len(sizes)), key=lambda i: -sizes[i])
+    placed: dict[int, list[int]] = {}
+    for idx in order:
+        block = alloc.allocate(sizes[idx])
+        placed[idx] = list(block)[: sizes[idx]]
+    for idx in range(len(sizes)):
+        groups.append(placed[idx])
+    return ConferenceSet.of(n_ports, groups)
+
+
+class AdmissionDenied(RuntimeError):
+    """A conference join was rejected by admission control.
+
+    ``reason`` is ``"capacity"`` (some link would exceed the dilation)
+    or ``"ports"`` (a requested port is already in a conference).
+    """
+
+    def __init__(self, reason: str, detail: str):
+        super().__init__(f"admission denied ({reason}): {detail}")
+        self.reason = reason
+        self.detail = detail
+
+
+class AdmissionController:
+    """Online admission of conferences under finite link dilation.
+
+    Keeps the link-load ledger of all live conferences; a join is
+    admitted only when every link the new route needs has spare
+    capacity.  This is what the blocking-probability experiment (F3)
+    drives.
+    """
+
+    def __init__(self, network: ConferenceNetwork):
+        self._network = network
+        self._loads: Counter = Counter()
+        self._routes: dict[int, Route] = {}
+        self._ports_in_use: set[int] = set()
+
+    @property
+    def network(self) -> ConferenceNetwork:
+        """The conference network admission is managed for."""
+        return self._network
+
+    @property
+    def live_conferences(self) -> tuple[int, ...]:
+        """Ids of currently admitted conferences."""
+        return tuple(self._routes)
+
+    def link_load(self, link: Point) -> int:
+        """Current channel load on one inter-stage link."""
+        return self._loads[link]
+
+    def peak_load(self) -> int:
+        """The worst current link load (0 when idle)."""
+        return max(self._loads.values(), default=0)
+
+    def try_join(self, conference: "Conference | Iterable[int]") -> Route:
+        """Admit and route a conference, or raise :class:`AdmissionDenied`."""
+        if not isinstance(conference, Conference):
+            conference = Conference.of(conference)
+        if conference.conference_id in self._routes:
+            raise AdmissionDenied(
+                "ports", f"conference id {conference.conference_id} already live"
+            )
+        clash = self._ports_in_use.intersection(conference.members)
+        if clash:
+            raise AdmissionDenied("ports", f"ports {sorted(clash)} already in a conference")
+        route = self._network.route(conference)
+        cap = self._network.dilation
+        for link in route.links:
+            if self._loads[link] + 1 > cap:
+                raise AdmissionDenied(
+                    "capacity", f"link {link} at load {self._loads[link]}/{cap}"
+                )
+        self._loads.update(route.links)
+        self._routes[conference.conference_id] = route
+        self._ports_in_use.update(conference.members)
+        return route
+
+    def leave(self, conference_id: int) -> None:
+        """Tear down a live conference, releasing its links."""
+        try:
+            route = self._routes.pop(conference_id)
+        except KeyError:
+            raise KeyError(f"no live conference with id {conference_id}") from None
+        self._loads.subtract(route.links)
+        self._loads += Counter()  # drop zero/negative entries
+        self._ports_in_use.difference_update(route.conference.members)
+
+    def snapshot(self) -> ConferenceSet:
+        """The live conferences as a validated :class:`ConferenceSet`."""
+        return ConferenceSet(
+            self._network.n_ports,
+            tuple(r.conference for r in self._routes.values()),
+        )

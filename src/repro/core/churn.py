@@ -1,0 +1,105 @@
+"""Member churn: people joining and leaving a live conference.
+
+Teleconferences are not static — members dial in and drop off while the
+call runs.  This module reroutes a conference across a membership change
+and reports the *disruption*: which links must be torn down or newly
+claimed, and whether continuing members' output taps move (a moved tap
+is an audible glitch and a mux reprogram; an unmoved tap is hitless).
+
+Key structural fact this exposes: on the indirect binary cube a join
+that stays inside the current enclosing block is hitless for everyone
+(taps stay at level ``K``), while a join that grows the block moves
+*every* member's tap — the cost of the cube's otherwise-ideal block
+locality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.conference import Conference
+from repro.core.routing import Route, RoutingPolicy, route_conference
+from repro.topology.network import MultistageNetwork, Point
+
+__all__ = ["ChurnResult", "apply_churn", "join_member", "leave_member"]
+
+
+@dataclass(frozen=True)
+class ChurnResult:
+    """Before/after routes of a membership change plus the diff.
+
+    ``links_added``/``links_removed`` are the fabric reconfiguration;
+    ``taps_moved`` maps each continuing member whose mux selection
+    changed to its (old level, new level) pair.
+    """
+
+    before: Route
+    after: Route
+    links_added: frozenset[Point]
+    links_removed: frozenset[Point]
+    taps_moved: dict[int, tuple[int, int]]
+
+    @property
+    def hitless(self) -> bool:
+        """True when no continuing member's tap moved."""
+        return not self.taps_moved
+
+    @property
+    def reconfigured_links(self) -> int:
+        """Total links touched by the change."""
+        return len(self.links_added) + len(self.links_removed)
+
+
+def apply_churn(
+    net: MultistageNetwork,
+    route: Route,
+    new_members: "tuple[int, ...] | list[int]",
+    policy: "RoutingPolicy | None" = None,
+) -> ChurnResult:
+    """Reroute ``route``'s conference with a new member tuple.
+
+    The conference id is preserved; ``new_members`` must be non-empty.
+    Returns the change set relative to the old route.
+    """
+    new_conf = Conference.of(new_members, conference_id=route.conference.conference_id)
+    after = route_conference(net, new_conf, policy)
+    continuing = set(route.conference.members) & set(new_conf.members)
+    taps_moved = {
+        port: (route.taps[port], after.taps[port])
+        for port in sorted(continuing)
+        if route.taps[port] != after.taps[port]
+    }
+    return ChurnResult(
+        before=route,
+        after=after,
+        links_added=after.links - route.links,
+        links_removed=route.links - after.links,
+        taps_moved=taps_moved,
+    )
+
+
+def join_member(
+    net: MultistageNetwork,
+    route: Route,
+    port: int,
+    policy: "RoutingPolicy | None" = None,
+) -> ChurnResult:
+    """Add one member to a live conference."""
+    if port in route.conference.members:
+        raise ValueError(f"port {port} is already a member")
+    return apply_churn(net, route, route.conference.members + (port,), policy)
+
+
+def leave_member(
+    net: MultistageNetwork,
+    route: Route,
+    port: int,
+    policy: "RoutingPolicy | None" = None,
+) -> ChurnResult:
+    """Remove one member from a live conference (at least one must stay)."""
+    remaining = tuple(m for m in route.conference.members if m != port)
+    if len(remaining) == len(route.conference.members):
+        raise ValueError(f"port {port} is not a member")
+    if not remaining:
+        raise ValueError("cannot remove the last member; tear the conference down instead")
+    return apply_churn(net, route, remaining, policy)

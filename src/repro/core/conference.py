@@ -1,0 +1,187 @@
+"""Conference and conference-set abstractions.
+
+A *conference* is a group of network ports whose users all talk to and
+hear each other; a *conference set* is a collection of pairwise-disjoint
+conferences simultaneously present in the network — the setting in which
+the paper's conflict-multiplicity question is posed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.util.bits import aligned_block_of, enclosing_block_exponent, ilog2
+from repro.util.validation import check_network_size, check_ports
+
+__all__ = ["Conference", "ConferenceSet"]
+
+
+@dataclass(frozen=True)
+class Conference:
+    """An immutable conference: a set of member ports plus a label.
+
+    ``members`` is stored sorted; equality and hashing include the label
+    so two same-membership conferences with different ids stay distinct
+    in dynamic scenarios (e.g. a conference that leaves and reforms).
+    """
+
+    members: tuple[int, ...]
+    conference_id: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ValueError("a conference needs at least one member")
+        ordered = tuple(sorted(self.members))
+        if len(set(ordered)) != len(ordered):
+            raise ValueError(f"duplicate members in conference: {self.members}")
+        if ordered[0] < 0:
+            raise ValueError(f"negative member port: {ordered[0]}")
+        object.__setattr__(self, "members", ordered)
+
+    @staticmethod
+    def of(members: Iterable[int], conference_id: int = 0) -> "Conference":
+        """Convenience constructor from any iterable of ports."""
+        return Conference(members=tuple(members), conference_id=conference_id)
+
+    @property
+    def size(self) -> int:
+        """Number of members."""
+        return len(self.members)
+
+    @property
+    def member_set(self) -> frozenset[int]:
+        """Members as a frozenset."""
+        return frozenset(self.members)
+
+    def member_index(self, port: int) -> int:
+        """Position of ``port`` in the sorted member tuple.
+
+        Routing represents partial combinations as bitmasks over these
+        indices.
+        """
+        try:
+            return self.members.index(port)
+        except ValueError:
+            raise ValueError(f"port {port} is not a member of conference {self.conference_id}") from None
+
+    @property
+    def full_mask(self) -> int:
+        """Bitmask with one bit per member, all set."""
+        return (1 << self.size) - 1
+
+    def enclosing_block_exponent(self, n_ports: int) -> int:
+        """Exponent of the smallest aligned block containing all members.
+
+        Equals the number of indirect-binary-cube stages the conference
+        needs before every member row carries the full combination.
+        """
+        n = check_network_size(n_ports)
+        if self.members[-1] >= n_ports:
+            raise ValueError(
+                f"member {self.members[-1]} out of range for an {n_ports}-port network"
+            )
+        return enclosing_block_exponent(self.members, n)
+
+    def is_block_aligned(self, n_ports: int) -> bool:
+        """True when the members exactly fill their enclosing aligned block.
+
+        Aligned conferences are the Yang-2001 placement discipline under
+        which the cube network is conflict-free.
+        """
+        k = self.enclosing_block_exponent(n_ports)
+        return self.size == (1 << k)
+
+    def spans(self, n_ports: int) -> range:
+        """The enclosing aligned block as a range of ports."""
+        k = self.enclosing_block_exponent(n_ports)
+        return aligned_block_of(self.members[0], k)
+
+    def __repr__(self) -> str:
+        mem = ",".join(map(str, self.members))
+        return f"Conference(id={self.conference_id}, members=[{mem}])"
+
+
+@dataclass(frozen=True)
+class ConferenceSet:
+    """A validated collection of pairwise-disjoint conferences.
+
+    Construction enforces the paper's standing assumption: conferences
+    simultaneously present in the network are disjoint (a port belongs
+    to at most one conference at a time) and fit the network.
+    """
+
+    n_ports: int
+    conferences: tuple[Conference, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        # Any port count >= 2 is legal here: radix-r networks have
+        # r**n ports.  Binary-only helpers (n_stages, block math) keep
+        # their power-of-two checks.
+        if not isinstance(self.n_ports, int) or isinstance(self.n_ports, bool):
+            raise TypeError(f"n_ports must be an int, got {type(self.n_ports).__name__}")
+        if self.n_ports < 2:
+            raise ValueError(f"need at least 2 ports, got {self.n_ports}")
+        confs = tuple(self.conferences)
+        object.__setattr__(self, "conferences", confs)
+        occupied: set[int] = set()
+        ids: set[int] = set()
+        for conf in confs:
+            check_ports(conf.members, self.n_ports, name=f"conference {conf.conference_id} members")
+            overlap = occupied.intersection(conf.members)
+            if overlap:
+                raise ValueError(
+                    f"conference {conf.conference_id} overlaps earlier conferences "
+                    f"on ports {sorted(overlap)}"
+                )
+            occupied.update(conf.members)
+            if conf.conference_id in ids:
+                raise ValueError(f"duplicate conference id {conf.conference_id}")
+            ids.add(conf.conference_id)
+
+    @staticmethod
+    def of(n_ports: int, member_groups: Iterable[Iterable[int]]) -> "ConferenceSet":
+        """Build a set from bare member groups, auto-assigning ids."""
+        confs = tuple(
+            Conference.of(group, conference_id=i) for i, group in enumerate(member_groups)
+        )
+        return ConferenceSet(n_ports=n_ports, conferences=confs)
+
+    @property
+    def n_stages(self) -> int:
+        """``log2`` of the network size (binary networks only)."""
+        return ilog2(self.n_ports)
+
+    def __len__(self) -> int:
+        return len(self.conferences)
+
+    def __iter__(self) -> Iterator[Conference]:
+        return iter(self.conferences)
+
+    def __getitem__(self, idx: int) -> Conference:
+        return self.conferences[idx]
+
+    @property
+    def occupied_ports(self) -> frozenset[int]:
+        """All ports belonging to some conference."""
+        return frozenset(p for conf in self.conferences for p in conf.members)
+
+    @property
+    def load(self) -> float:
+        """Fraction of ports occupied, the natural offered-load measure."""
+        return len(self.occupied_ports) / self.n_ports
+
+    def add(self, conference: Conference) -> "ConferenceSet":
+        """A new set with ``conference`` added (validation re-runs)."""
+        return ConferenceSet(self.n_ports, self.conferences + (conference,))
+
+    def remove(self, conference_id: int) -> "ConferenceSet":
+        """A new set without the conference carrying ``conference_id``."""
+        remaining = tuple(c for c in self.conferences if c.conference_id != conference_id)
+        if len(remaining) == len(self.conferences):
+            raise KeyError(f"no conference with id {conference_id}")
+        return ConferenceSet(self.n_ports, remaining)
+
+    def sizes(self) -> Sequence[int]:
+        """Conference sizes, in set order."""
+        return tuple(c.size for c in self.conferences)

@@ -1,0 +1,107 @@
+"""Routing-conflict accounting — the paper's key quantity.
+
+When multiple disjoint conferences are present, their routes may need
+the same inter-stage link.  The *multiplicity of routing conflicts* is
+the maximum number of conferences competing for one link; it dictates
+how much link dilation (or time multiplexing) the fabric needs.  This
+module turns a collection of routes into link-load maps, per-stage
+profiles and summary reports.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.routing import Route
+from repro.topology.network import Point
+
+__all__ = ["link_loads", "ConflictReport", "analyze_conflicts"]
+
+
+def link_loads(routes: Iterable[Route]) -> Counter:
+    """Count, per inter-stage link, the conferences using it.
+
+    Keys are points ``(level, row)`` with ``level >= 1``; a value of 1
+    means exclusive use (no conflict).
+    """
+    loads: Counter = Counter()
+    for route in routes:
+        loads.update(route.links)
+    return loads
+
+
+@dataclass(frozen=True)
+class ConflictReport:
+    """Summary of link contention among a set of routes.
+
+    ``stage_profile[t]`` is the worst load on any link entering stage
+    ``t + 1`` — index 0 describes the links after the first stage, which
+    matches the theory module's ``f(t)`` with ``t = index + 1``.
+    """
+
+    n_conferences: int
+    n_stages: int
+    max_multiplicity: int
+    worst_link: "Point | None"
+    stage_profile: tuple[int, ...]
+    load_histogram: tuple[tuple[int, int], ...]
+    total_links_used: int
+
+    @property
+    def conflict_free(self) -> bool:
+        """True when no link is shared (multiplicity <= 1)."""
+        return self.max_multiplicity <= 1
+
+    @property
+    def required_dilation(self) -> int:
+        """Link dilation needed to carry all conferences at once."""
+        return max(self.max_multiplicity, 1)
+
+    def describe(self) -> str:
+        """One-paragraph human-readable summary."""
+        hist = ", ".join(f"{load}x:{count}" for load, count in self.load_histogram)
+        return (
+            f"{self.n_conferences} conferences, max multiplicity "
+            f"{self.max_multiplicity} (worst link {self.worst_link}), "
+            f"per-stage profile {list(self.stage_profile)}, "
+            f"link-load histogram [{hist}]"
+        )
+
+
+def analyze_conflicts(routes: Sequence[Route], n_stages: "int | None" = None) -> ConflictReport:
+    """Build a :class:`ConflictReport` for a collection of routes.
+
+    ``n_stages`` defaults to the routes' own stage count; it must be
+    given for an empty collection.
+    """
+    routes = list(routes)
+    if n_stages is None:
+        if not routes:
+            raise ValueError("n_stages is required for an empty route collection")
+        n_stages = routes[0].n_stages
+    for r in routes:
+        if r.n_stages != n_stages:
+            raise ValueError("routes come from networks with different stage counts")
+
+    loads = link_loads(routes)
+    profile = [0] * n_stages
+    worst: "Point | None" = None
+    worst_load = 0
+    for (level, row), load in loads.items():
+        stage_idx = level - 1
+        if load > profile[stage_idx]:
+            profile[stage_idx] = load
+        if load > worst_load or (load == worst_load and worst is not None and (level, row) < worst):
+            worst, worst_load = (level, row), load
+    histogram = Counter(loads.values())
+    return ConflictReport(
+        n_conferences=len(routes),
+        n_stages=n_stages,
+        max_multiplicity=worst_load,
+        worst_link=worst,
+        stage_profile=tuple(profile),
+        load_histogram=tuple(sorted(histogram.items())),
+        total_links_used=len(loads),
+    )

@@ -1,0 +1,93 @@
+"""ASCII rendering of networks and conference routes.
+
+For small networks these renderings show the full layered structure
+with the links one or more conferences occupy, which is how the
+examples and the CLI visualize conflicts without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.routing import Route
+from repro.topology.network import MultistageNetwork
+
+__all__ = ["render_network", "render_routes", "render_stage_profile"]
+
+_MAX_RENDER_PORTS = 64
+
+
+def render_network(net: MultistageNetwork) -> str:
+    """Draw the switch pairings of each stage, one row of text per port.
+
+    Each stage column shows the switch index a row's signal enters,
+    making the wiring pattern visible (e.g. omega's shifting pairs vs
+    the cube's bit-``s`` pairs).
+    """
+    if net.n_ports > _MAX_RENDER_PORTS:
+        raise ValueError(f"rendering is readable only up to N={_MAX_RENDER_PORTS}")
+    width = len(str(net.n_ports // 2 - 1))
+    lines = [f"{net.name}: N={net.n_ports}, {net.n_stages} stages (cell = switch index)"]
+    header = "row | " + " ".join(f"s{t}".rjust(width + 1) for t in range(net.n_stages))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in range(net.n_ports):
+        cells = " ".join(
+            str(net.stages[t].switch_of_row(row)).rjust(width + 1)
+            for t in range(net.n_stages)
+        )
+        lines.append(f"{row:3d} | {cells}")
+    return "\n".join(lines)
+
+
+def render_routes(net: MultistageNetwork, routes: Sequence[Route]) -> str:
+    """Draw link occupancy: one text row per port, one column per level.
+
+    Cells show which conference(s) occupy the inter-stage link on that
+    (row, level); ``*`` marks contested links (two or more conferences),
+    the paper's conflicts made visible.
+    """
+    if net.n_ports > _MAX_RENDER_PORTS:
+        raise ValueError(f"rendering is readable only up to N={_MAX_RENDER_PORTS}")
+    owners: dict[tuple[int, int], list[int]] = {}
+    for route in routes:
+        cid = route.conference.conference_id
+        for link in route.links:
+            owners.setdefault(link, []).append(cid)
+    taps = {
+        (t, port): route.conference.conference_id
+        for route in routes
+        for port, t in route.taps.items()
+    }
+    cell_w = max(3, max((len(_owners_cell(v)) for v in owners.values()), default=3))
+    lines = [f"link occupancy ({net.name}); '*'=conflict, '>'=mux tap"]
+    header = "row | " + " ".join(f"L{t}".rjust(cell_w) for t in range(1, net.n_stages + 1))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in range(net.n_ports):
+        cells = []
+        for level in range(1, net.n_stages + 1):
+            cell = _owners_cell(owners.get((level, row), []))
+            if (level, row) in taps:
+                cell = (cell + ">") if cell != "." else ">"
+            cells.append(cell.rjust(cell_w))
+        lines.append(f"{row:3d} | " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def _owners_cell(cids: list[int]) -> str:
+    if not cids:
+        return "."
+    text = "+".join(str(c) for c in sorted(cids))
+    return f"*{text}" if len(cids) > 1 else text
+
+
+def render_stage_profile(
+    profiles: dict[str, Sequence[int]], title: str = "per-stage conflict multiplicity"
+) -> str:
+    """Bar-chart-ish rendering of per-stage profiles, one line per series."""
+    lines = [title]
+    for name, profile in profiles.items():
+        bars = "  ".join(f"t={t + 1}:{v}" for t, v in enumerate(profile))
+        lines.append(f"  {name:24s} {bars}")
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Aligned text tables and CSV output for experiment results.
+
+Every benchmark prints its rows through :func:`render_table` so the
+regenerated tables look like the tables in a paper; :func:`write_csv`
+persists the same rows for downstream tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Iterable, Mapping, Sequence
+from pathlib import Path
+
+__all__ = ["render_table", "write_csv", "format_value"]
+
+
+def format_value(value: object) -> str:
+    """Render one cell: floats to 4 significant digits, rest via str."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: "Sequence[str] | None" = None,
+    title: "str | None" = None,
+) -> str:
+    """Render dict rows as an aligned monospace table.
+
+    ``columns`` fixes the column order (default: keys of the first row).
+    Returns the table as a string; callers print or log it.
+    """
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in cells)) for i, col in enumerate(columns)
+    ]
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    out.write(header + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for r in cells:
+        out.write("  ".join(r[i].ljust(widths[i]) for i in range(len(columns))) + "\n")
+    return out.getvalue().rstrip("\n")
+
+
+def write_csv(
+    path: "str | Path",
+    rows: Iterable[Mapping[str, object]],
+    columns: "Sequence[str] | None" = None,
+) -> Path:
+    """Write dict rows to a CSV file, creating parent directories."""
+    rows = list(rows)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if columns is None:
+        columns = list(rows[0].keys()) if rows else []
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path

@@ -1,0 +1,17 @@
+"""Discrete-event simulation of dynamic conference traffic."""
+
+from repro.sim.engine import Event, EventLoop
+from repro.sim.metrics import TrafficStats
+from repro.sim.scenarios import blocking_vs_dilation, placement_comparison, run_traffic
+from repro.sim.traffic import ConferenceTrafficSource, TrafficConfig
+
+__all__ = [
+    "ConferenceTrafficSource",
+    "Event",
+    "EventLoop",
+    "TrafficConfig",
+    "TrafficStats",
+    "blocking_vs_dilation",
+    "placement_comparison",
+    "run_traffic",
+]

@@ -1,0 +1,80 @@
+"""Statistics accumulated by the traffic simulation."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["TrafficStats"]
+
+
+@dataclass
+class TrafficStats:
+    """Counters and time-weighted occupancy for one simulation run.
+
+    ``blocked`` is split by reason (``"capacity"`` for link exhaustion,
+    ``"ports"`` for member-port exhaustion) because only capacity
+    blocking reflects the network design; port blocking is an offered-
+    load artifact reported separately.
+    """
+
+    offered: int = 0
+    admitted: int = 0
+    completed: int = 0
+    admitted_members: int = 0
+    blocked: Counter = field(default_factory=Counter)
+    _occ_time: float = 0.0
+    _occ_area: float = 0.0
+    _occ_last_t: float = 0.0
+    _occ_last_v: int = 0
+    peak_occupancy: int = 0
+
+    def block(self, reason: str) -> None:
+        """Record a blocked call."""
+        self.blocked[reason] += 1
+
+    @property
+    def blocked_total(self) -> int:
+        """All blocked calls regardless of reason."""
+        return sum(self.blocked.values())
+
+    @property
+    def blocking_probability(self) -> float:
+        """Fraction of offered calls blocked (any reason)."""
+        return self.blocked_total / self.offered if self.offered else 0.0
+
+    @property
+    def capacity_blocking_probability(self) -> float:
+        """Fraction of offered calls blocked by link capacity — the
+        design-relevant number in experiment F3."""
+        return self.blocked["capacity"] / self.offered if self.offered else 0.0
+
+    def observe_occupancy(self, now: float, live: int) -> None:
+        """Update the time-weighted live-conference average."""
+        dt = now - self._occ_last_t
+        if dt < 0:
+            raise ValueError("occupancy observations must be time-ordered")
+        self._occ_area += self._occ_last_v * dt
+        self._occ_time += dt
+        self._occ_last_t = now
+        self._occ_last_v = live
+        self.peak_occupancy = max(self.peak_occupancy, live)
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Time-averaged number of live conferences."""
+        return self._occ_area / self._occ_time if self._occ_time > 0 else 0.0
+
+    def summary(self) -> dict[str, float | int]:
+        """Flat dict for tables/CSV."""
+        return {
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "blocked_capacity": self.blocked["capacity"],
+            "blocked_ports": self.blocked["ports"],
+            "blocking_probability": round(self.blocking_probability, 6),
+            "capacity_blocking_probability": round(self.capacity_blocking_probability, 6),
+            "mean_occupancy": round(self.mean_occupancy, 3),
+            "peak_occupancy": self.peak_occupancy,
+        }

@@ -1,0 +1,29 @@
+"""Switch modules, output multiplexers, and the hardware fabric simulator."""
+
+from repro.switching.crossbar import ConferenceCrossbar, CrossbarDelivery
+from repro.switching.fabric import CapacityExceeded, DeliveryReport, Fabric
+from repro.switching.mux import MuxBank, OutputMux
+from repro.switching.switch import (
+    COMBINE_BROADCAST,
+    CROSS,
+    IDLE,
+    STRAIGHT,
+    Signal,
+    SwitchSetting,
+)
+
+__all__ = [
+    "COMBINE_BROADCAST",
+    "CROSS",
+    "CapacityExceeded",
+    "ConferenceCrossbar",
+    "CrossbarDelivery",
+    "DeliveryReport",
+    "Fabric",
+    "IDLE",
+    "MuxBank",
+    "OutputMux",
+    "STRAIGHT",
+    "Signal",
+    "SwitchSetting",
+]

@@ -1,0 +1,76 @@
+"""A functional N x N conference crossbar — the brute-force baseline.
+
+One contact per (input, output) pair plus an N-way mixer per output:
+every output can listen to any subset of inputs, so any family of
+disjoint conferences is realized with no routing at all.  The paper's
+multistage designs compete against this on hardware cost (Θ(N²) here,
+see ``repro.analysis.cost``); this module provides the *behavioural*
+reference the tests compare the multistage fabric against: both must
+deliver exactly the same mixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.conference import ConferenceSet
+from repro.util.validation import check_network_size
+
+__all__ = ["CrossbarDelivery", "ConferenceCrossbar"]
+
+
+@dataclass(frozen=True)
+class CrossbarDelivery:
+    """What each output hears: ``delivered[conference_id][port]``."""
+
+    delivered: dict[int, dict[int, frozenset[int]]]
+    contacts_closed: int
+
+    @property
+    def correct(self) -> bool:
+        """Always true by construction; present for interface parity
+        with :class:`~repro.switching.fabric.DeliveryReport`."""
+        return True
+
+
+class ConferenceCrossbar:
+    """An ``N x N`` crossbar with per-output mixing.
+
+    Stateless: :meth:`realize` validates the conference set and returns
+    the delivery.  ``contacts_closed`` counts the crosspoints in use —
+    ``sum(|S|^2)`` over conferences — which the cost comparison tests
+    check against the switching-theory formula.
+    """
+
+    def __init__(self, n_ports: int):
+        check_network_size(n_ports)
+        self._n_ports = n_ports
+
+    @property
+    def n_ports(self) -> int:
+        """Number of input (and output) ports."""
+        return self._n_ports
+
+    @property
+    def total_crosspoints(self) -> int:
+        """Physical contact count, ``N**2``."""
+        return self._n_ports * self._n_ports
+
+    def realize(self, conferences: ConferenceSet) -> CrossbarDelivery:
+        """Close, for each conference, the |S| x |S| block of contacts.
+
+        Disjointness (validated by the ``ConferenceSet``) guarantees no
+        output mixer is claimed twice.
+        """
+        if conferences.n_ports != self._n_ports:
+            raise ValueError(
+                f"conference set sized for {conferences.n_ports} ports, "
+                f"crossbar has {self._n_ports}"
+            )
+        delivered: dict[int, dict[int, frozenset[int]]] = {}
+        contacts = 0
+        for conf in conferences:
+            members = conf.member_set
+            delivered[conf.conference_id] = {port: members for port in conf.members}
+            contacts += conf.size * conf.size
+        return CrossbarDelivery(delivered=delivered, contacts_closed=contacts)

@@ -1,0 +1,247 @@
+"""Hardware-level fabric simulation.
+
+The routing code computes which points a conference *should* occupy;
+this module checks what the hardware would actually deliver.  It derives
+per-switch settings from routes, then pushes :class:`Signal` values
+through the switch columns, the dilated links and the output
+multiplexers — a propagation that knows nothing about forward masks or
+backward cones, making it an independent end-to-end oracle for the
+routing algorithm (and the basis of the library's delivery guarantees).
+
+Links are modelled with a configurable *dilation* (capacity): a physical
+link can carry up to ``dilation`` conference channels at once, which is
+exactly how a network with conflict multiplicity ``f`` is provisioned.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.routing import Route
+from repro.switching.mux import MuxBank
+from repro.switching.switch import Signal, SwitchSetting
+from repro.topology.network import MultistageNetwork, Point
+
+__all__ = ["CapacityExceeded", "DeliveryReport", "Fabric"]
+
+
+class CapacityExceeded(RuntimeError):
+    """Raised when routes demand more channels on a link than it has.
+
+    Carries the offending link and the demanded load so admission
+    control and experiments can report precisely what failed.
+    """
+
+    def __init__(self, link: Point, demanded: int, capacity: int):
+        super().__init__(
+            f"link {link} needs {demanded} channels but has capacity {capacity}"
+        )
+        self.link = link
+        self.demanded = demanded
+        self.capacity = capacity
+
+
+@dataclass(frozen=True)
+class DeliveryReport:
+    """Outcome of simulating a set of conference routes on hardware.
+
+    ``delivered[conference_id][port]`` is the member set that arrived at
+    member ``port``'s output.  ``correct`` is True when every member of
+    every conference received exactly the full combination.
+    """
+
+    delivered: dict[int, dict[int, frozenset[int]]]
+    peak_link_load: int
+    switch_settings_used: int
+    errors: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def correct(self) -> bool:
+        """True when every member heard exactly its full conference."""
+        return not self.errors
+
+
+class Fabric:
+    """A configured switching fabric: network + dilation + mux bank.
+
+    Instantiate once per topology, then call :meth:`simulate` with any
+    collection of routes — conference :class:`Route` objects,
+    ``GroupRoute`` objects from ``repro.core.groupcast``, or a mix; the
+    fabric only relies on the shared adapter interface (``channel_id``,
+    ``injections``, ``expected_delivery``, ``exclusive_ports``,
+    ``levels``, ``taps``).  The simulation is stateless across calls.
+    """
+
+    def __init__(
+        self,
+        net: MultistageNetwork,
+        dilation: int = 1,
+        relay_enabled: bool = True,
+    ):
+        if dilation < 1:
+            raise ValueError(f"link dilation must be >= 1, got {dilation}")
+        if net.radix != 2:
+            raise NotImplementedError(
+                "the hardware fabric models 2x2 switch modules; radix-r "
+                "networks are supported by the routing and conflict layers "
+                "(see repro.topology.builders.radix_cube)"
+            )
+        self._net = net
+        self._dilation = dilation
+        self._mux_bank = MuxBank(net.n_ports, net.n_stages, relay_enabled=relay_enabled)
+
+    @property
+    def net(self) -> MultistageNetwork:
+        """The underlying topology."""
+        return self._net
+
+    @property
+    def dilation(self) -> int:
+        """Channels per physical inter-stage link."""
+        return self._dilation
+
+    @property
+    def mux_bank(self) -> MuxBank:
+        """The output multiplexer column."""
+        return self._mux_bank
+
+    # -- switch-setting derivation --------------------------------------
+
+    def derive_settings(
+        self, routes: Sequence[Route]
+    ) -> dict[tuple[int, int, int], SwitchSetting]:
+        """Per-(stage, switch, conference) switch settings implied by routes.
+
+        For each stage switch a conference route touches, the setting
+        combines every used input rail onto every used output rail —
+        the combine-and-broadcast discipline of conference switching.
+        """
+        settings: dict[tuple[int, int, int], SwitchSetting] = {}
+        for route in routes:
+            cid = route.channel_id
+            for s, stage in enumerate(self._net.stages):
+                used_in = route.levels[s]
+                used_out = route.levels[s + 1]
+                by_switch_in: dict[int, set[int]] = {}
+                for row in used_in:
+                    rail = stage.pre(row)
+                    by_switch_in.setdefault(rail >> 1, set()).add(rail & 1)
+                by_switch_out: dict[int, set[int]] = {}
+                for row in used_out:
+                    rail = stage.post.inverse(row)
+                    by_switch_out.setdefault(rail >> 1, set()).add(rail & 1)
+                for sw, ins in by_switch_in.items():
+                    outs = by_switch_out.get(sw, set())
+                    if not outs:
+                        continue
+                    settings[(s, sw, cid)] = SwitchSetting.for_io(
+                        frozenset(ins), frozenset(outs)
+                    )
+        return settings
+
+    # -- signal propagation ---------------------------------------------
+
+    def simulate(
+        self, routes: Sequence[Route], check_capacity: bool = True
+    ) -> DeliveryReport:
+        """Push every conference's signals through the configured fabric.
+
+        Raises :class:`CapacityExceeded` when ``check_capacity`` is on
+        and some link needs more channels than the dilation provides;
+        returns a :class:`DeliveryReport` otherwise.
+        """
+        routes = list(routes)
+        self._check_disjoint(routes)
+        if check_capacity:
+            self._enforce_capacity(routes)
+
+        settings = self.derive_settings(routes)
+        # Wire state: per level, per row, per conference -> Signal.
+        state: dict[int, dict[tuple[int, int], Signal]] = {0: {}}
+        for route in routes:
+            cid = route.channel_id
+            for port in route.injections:
+                state[0][(port, cid)] = Signal(cid, frozenset({port}))
+
+        peak = 0
+        for s, stage in enumerate(self._net.stages):
+            cur = state[s]
+            nxt: dict[tuple[int, int], Signal] = {}
+            # Group current wires by (switch, conference).
+            by_switch: dict[tuple[int, int], dict[int, Signal]] = {}
+            for (row, cid), sig in cur.items():
+                rail = stage.pre(row)
+                by_switch.setdefault((rail >> 1, cid), {})[rail & 1] = sig
+            for (sw, cid), rails in by_switch.items():
+                setting = settings.get((s, sw, cid))
+                if setting is None:
+                    continue  # conference terminates here (tapped earlier)
+                out0, out1 = setting.apply(rails.get(0), rails.get(1))
+                for rail_idx, sig in ((0, out0), (1, out1)):
+                    if sig is None:
+                        continue
+                    row = stage.post(2 * sw + rail_idx)
+                    nxt[(row, cid)] = sig
+            state[s + 1] = nxt
+            if nxt:
+                load = Counter(row for (row, _cid) in nxt)
+                peak = max(peak, max(load.values()))
+
+        # Output multiplexers deliver tapped signals.
+        self._mux_bank.clear()
+        delivered: dict[int, dict[int, frozenset[int]]] = {}
+        errors: list[str] = []
+        for route in routes:
+            cid = route.channel_id
+            got: dict[int, frozenset[int]] = {}
+            expected = route.expected_delivery
+            for port, level in route.taps.items():
+                if self._mux_bank.relay_enabled or level == self._net.n_stages:
+                    self._mux_bank.set_selection(port, level)
+                else:
+                    errors.append(
+                        f"conference {cid}: member {port} taps level {level} "
+                        "but the mux relay is disabled"
+                    )
+                    continue
+                sig = state[level].get((port, cid))
+                members = sig.members if sig is not None else frozenset()
+                got[port] = members
+                if members != expected:
+                    errors.append(
+                        f"conference {cid}: member {port} received "
+                        f"{sorted(members)} instead of {sorted(expected)}"
+                    )
+            delivered[cid] = got
+
+        return DeliveryReport(
+            delivered=delivered,
+            peak_link_load=peak,
+            switch_settings_used=len(settings),
+            errors=tuple(errors),
+        )
+
+    # -- internals -------------------------------------------------------
+
+    @staticmethod
+    def _check_disjoint(routes: Sequence[Route]) -> None:
+        seen: dict[int, int] = {}
+        for route in routes:
+            cid = route.channel_id
+            for port in route.exclusive_ports:
+                other = seen.get(port)
+                if other is not None and other != cid:
+                    raise ValueError(
+                        f"connections {other} and {cid} share port {port}"
+                    )
+                seen[port] = cid
+
+    def _enforce_capacity(self, routes: Sequence[Route]) -> None:
+        loads: Counter = Counter()
+        for route in routes:
+            loads.update(route.links)
+        for link, load in loads.items():
+            if load > self._dilation:
+                raise CapacityExceeded(link, load, self._dilation)

@@ -1,0 +1,103 @@
+"""Per-output multiplexer relay — the Yang-2001 enhancement.
+
+Each network output ``j`` is fed by an ``(n+1)``-to-1 multiplexer whose
+data inputs are the inter-stage links on physical row ``j`` after stages
+``1..n`` plus a stage-0 loopback of input ``j`` itself (which lets a
+singleton conference hear itself without traversing any stage).  A
+conference fully combined on row ``j`` after ``t`` stages exits through
+the mux without occupying stages ``t+1..n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_network_size, check_port, check_stage
+
+__all__ = ["OutputMux", "MuxBank"]
+
+
+@dataclass(frozen=True)
+class OutputMux:
+    """The relay multiplexer in front of one network output."""
+
+    row: int
+    n_stages: int
+
+    @property
+    def n_inputs(self) -> int:
+        """Number of selectable taps: one per level ``0..n_stages``."""
+        return self.n_stages + 1
+
+    def select(self, level: int) -> tuple[int, int]:
+        """The point ``(level, row)`` this selection taps."""
+        check_stage(level, self.n_stages, inclusive=True)
+        return (level, self.row)
+
+
+class MuxBank:
+    """The full column of output multiplexers of a conference network.
+
+    ``relay_enabled=False`` models a plain multistage network with no
+    enhancement: every output is hard-wired to the final stage, which is
+    the no-mux ablation in the benchmarks.
+    """
+
+    def __init__(self, n_ports: int, n_stages: int, relay_enabled: bool = True):
+        check_network_size(n_ports)
+        if n_stages < 1:
+            raise ValueError(f"need at least one stage, got {n_stages}")
+        self._n_ports = n_ports
+        self._n_stages = n_stages
+        self._relay_enabled = relay_enabled
+        self._selection: dict[int, int] = {}
+
+    @property
+    def n_ports(self) -> int:
+        """Number of outputs (one mux each)."""
+        return self._n_ports
+
+    @property
+    def relay_enabled(self) -> bool:
+        """Whether early taps are allowed."""
+        return self._relay_enabled
+
+    def mux(self, row: int) -> OutputMux:
+        """The multiplexer in front of output ``row``."""
+        check_port(row, self._n_ports, "row")
+        return OutputMux(row=row, n_stages=self._n_stages)
+
+    def set_selection(self, row: int, level: int) -> None:
+        """Point output ``row`` at the level-``level`` link on its row.
+
+        With the relay disabled only ``level == n_stages`` is legal.
+        """
+        check_port(row, self._n_ports, "row")
+        check_stage(level, self._n_stages, inclusive=True)
+        if not self._relay_enabled and level != self._n_stages:
+            raise ValueError(
+                f"mux relay disabled: output {row} can only tap the final stage "
+                f"({self._n_stages}), not level {level}"
+            )
+        self._selection[row] = level
+
+    def clear(self) -> None:
+        """Drop all selections (outputs go silent)."""
+        self._selection.clear()
+
+    def selection(self, row: int) -> "int | None":
+        """The level output ``row`` currently taps, or None when silent."""
+        check_port(row, self._n_ports, "row")
+        return self._selection.get(row)
+
+    def selected_points(self) -> dict[int, tuple[int, int]]:
+        """Map of output row -> tapped point for all configured outputs."""
+        return {row: (level, row) for row, level in self._selection.items()}
+
+    def gate_cost(self) -> int:
+        """Total mux data inputs across the bank, a standard hardware
+        cost proxy (each output needs an ``(n+1)``-to-1 mux when the
+        relay is on, or a plain wire when off)."""
+        if not self._relay_enabled:
+            return 0
+        return self._n_ports * (self._n_stages + 1)

@@ -1,0 +1,122 @@
+"""Two-by-two switch modules with fan-in and fan-out capability.
+
+The paper's networks are built from 2x2 switch modules that can do more
+than permute: they *combine* (fan-in) two signals of the same conference
+into one mixed signal, and *broadcast* (fan-out) a signal to both
+outputs.  A switch configuration is therefore, per output rail, the set
+of input rails whose signals are combined onto it.
+
+Signals are modelled as :class:`Signal` values carrying the set of
+member ports already mixed in.  Combining is set union, which makes
+delivery exactly checkable: a conference member must receive precisely
+the union of all members.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Signal", "SwitchSetting", "STRAIGHT", "CROSS", "COMBINE_BROADCAST", "IDLE"]
+
+
+@dataclass(frozen=True)
+class Signal:
+    """A (possibly partially combined) conference signal on one wire.
+
+    ``conference_id`` scopes combining: a hardware fabric must never mix
+    signals of different conferences, and :meth:`combine` enforces it.
+    """
+
+    conference_id: int
+    members: frozenset[int]
+
+    def combine(self, other: "Signal") -> "Signal":
+        """Mix two signals of the same conference (fan-in)."""
+        if self.conference_id != other.conference_id:
+            raise ValueError(
+                f"cannot combine signals of conferences "
+                f"{self.conference_id} and {other.conference_id}"
+            )
+        return Signal(self.conference_id, self.members | other.members)
+
+    def __repr__(self) -> str:
+        mem = ",".join(map(str, sorted(self.members)))
+        return f"Signal(conf={self.conference_id}, members={{{mem}}})"
+
+
+@dataclass(frozen=True)
+class SwitchSetting:
+    """Configuration of one 2x2 switch for one conference channel.
+
+    ``out0``/``out1`` give the input rails (subsets of ``{0, 1}``)
+    combined onto the upper/lower output rail.  The classic unicast
+    states are special cases; conference switching mostly uses
+    combine-and-broadcast settings.
+    """
+
+    out0: frozenset[int] = field(default=frozenset())
+    out1: frozenset[int] = field(default=frozenset())
+
+    def __post_init__(self) -> None:
+        for rails in (self.out0, self.out1):
+            if not rails <= {0, 1}:
+                raise ValueError(f"input rails must be a subset of {{0, 1}}, got {set(rails)}")
+
+    @property
+    def inputs_used(self) -> frozenset[int]:
+        """Input rails that feed at least one output."""
+        return self.out0 | self.out1
+
+    @property
+    def outputs_used(self) -> frozenset[int]:
+        """Output rails that carry a signal."""
+        used = set()
+        if self.out0:
+            used.add(0)
+        if self.out1:
+            used.add(1)
+        return frozenset(used)
+
+    @property
+    def is_idle(self) -> bool:
+        """True when the switch passes nothing for this channel."""
+        return not (self.out0 or self.out1)
+
+    def apply(self, in0: "Signal | None", in1: "Signal | None") -> tuple["Signal | None", "Signal | None"]:
+        """Drive the outputs from the inputs under this setting.
+
+        Raises ``ValueError`` when the setting selects an input rail that
+        carries no signal — that would be a routing bug, and the fabric
+        simulator wants it loud.
+        """
+        rails = (in0, in1)
+
+        def mix(selected: frozenset[int]) -> "Signal | None":
+            out: "Signal | None" = None
+            for rail in sorted(selected):
+                sig = rails[rail]
+                if sig is None:
+                    raise ValueError(f"switch setting selects silent input rail {rail}")
+                out = sig if out is None else out.combine(sig)
+            return out
+
+        return mix(self.out0), mix(self.out1)
+
+    @staticmethod
+    def for_io(inputs: frozenset[int], outputs: frozenset[int]) -> "SwitchSetting":
+        """The conference setting combining ``inputs`` onto every rail in
+        ``outputs`` (combine-and-broadcast semantics)."""
+        return SwitchSetting(
+            out0=inputs if 0 in outputs else frozenset(),
+            out1=inputs if 1 in outputs else frozenset(),
+        )
+
+
+#: Classic unicast pass-through: upper in -> upper out, lower -> lower.
+STRAIGHT = SwitchSetting(out0=frozenset({0}), out1=frozenset({1}))
+#: Classic unicast exchange: upper in -> lower out and vice versa.
+CROSS = SwitchSetting(out0=frozenset({1}), out1=frozenset({0}))
+#: Full conference mode: both inputs mixed onto both outputs.
+COMBINE_BROADCAST = SwitchSetting(out0=frozenset({0, 1}), out1=frozenset({0, 1}))
+#: Nothing connected.
+IDLE = SwitchSetting()

@@ -1,0 +1,96 @@
+"""Multistage interconnection network substrate.
+
+Defines the generic layered network model, the paper's three topologies
+(baseline, omega, indirect binary cube) plus reverses, graph algorithms
+over the layered DAG, and structural property checkers.
+"""
+
+from repro.topology.builders import (
+    BANYAN_TOPOLOGIES,
+    PAPER_TOPOLOGIES,
+    benes_cube,
+    extra_stage_cube,
+    TOPOLOGY_BUILDERS,
+    baseline,
+    build,
+    flip,
+    indirect_binary_cube,
+    omega,
+    reverse_baseline,
+)
+from repro.topology.graph import (
+    all_paths,
+    backward_cone,
+    count_paths,
+    forward_cone,
+    to_networkx,
+    unique_path,
+)
+from repro.topology.network import MultistageNetwork, Point, Stage
+from repro.topology.permutations import (
+    Permutation,
+    bit_reversal,
+    bit_to_front,
+    blockwise,
+    butterfly,
+    compose,
+    from_mapping,
+    identity,
+    inverse_shuffle,
+    perfect_shuffle,
+)
+from repro.topology.unicast import (
+    count_passable_permutations,
+    destination_tag_path,
+    is_permutation_passable,
+    route_permutation,
+)
+from repro.topology.properties import (
+    has_full_access,
+    is_banyan,
+    is_buddy,
+    stage_pairing_bits,
+    structure_digest,
+)
+
+__all__ = [
+    "BANYAN_TOPOLOGIES",
+    "PAPER_TOPOLOGIES",
+    "benes_cube",
+    "count_passable_permutations",
+    "destination_tag_path",
+    "extra_stage_cube",
+    "is_permutation_passable",
+    "route_permutation",
+    "TOPOLOGY_BUILDERS",
+    "MultistageNetwork",
+    "Permutation",
+    "Point",
+    "Stage",
+    "all_paths",
+    "backward_cone",
+    "baseline",
+    "bit_reversal",
+    "bit_to_front",
+    "blockwise",
+    "build",
+    "butterfly",
+    "compose",
+    "count_paths",
+    "flip",
+    "forward_cone",
+    "from_mapping",
+    "has_full_access",
+    "identity",
+    "indirect_binary_cube",
+    "inverse_shuffle",
+    "is_banyan",
+    "is_buddy",
+    "omega",
+    "perfect_shuffle",
+    "reverse_baseline",
+    "stage_pairing_bits",
+    "structure_digest",
+    "to_networkx",
+    "unique_path",
+]

@@ -1,0 +1,225 @@
+"""Constructors for the classic banyan-class topologies.
+
+The three networks named by the paper — baseline, omega, and indirect
+binary cube — plus their reverses and a registry used by the benchmark
+harness to sweep over topologies by name.
+
+All builders produce :class:`~repro.topology.network.MultistageNetwork`
+instances with ``n = log2(N)`` stages of 2x2 switches.  Known structural
+facts are encoded as tests (see ``tests/topology``): all three are
+banyan (unique input->output path), have full access, and are
+topologically equivalent, yet their *conference* conflict behaviour
+differs because equivalence relabels ports while conference membership
+does not.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.topology.network import MultistageNetwork, Stage
+from repro.topology.permutations import (
+    bit_to_front,
+    blockwise,
+    identity,
+    inverse_shuffle,
+    perfect_shuffle,
+)
+from repro.util.validation import check_network_size
+
+__all__ = [
+    "omega",
+    "baseline",
+    "indirect_binary_cube",
+    "flip",
+    "reverse_baseline",
+    "benes_cube",
+    "extra_stage_cube",
+    "radix_cube",
+    "radix_delta",
+    "TOPOLOGY_BUILDERS",
+    "PAPER_TOPOLOGIES",
+    "BANYAN_TOPOLOGIES",
+    "build",
+]
+
+
+def omega(n_ports: int) -> MultistageNetwork:
+    """The omega network: a perfect shuffle before every stage.
+
+    Stage ``s`` pairs rows differing in the *most significant* address
+    bit of their current position; the shuffle rotates a new bit into
+    that position each stage.  With all switches straight the network
+    realizes the identity permutation.
+    """
+    n = check_network_size(n_ports)
+    shuffle = perfect_shuffle(n_ports)
+    ident = identity(n_ports)
+    stages = [Stage(pre=shuffle, post=ident, label=f"omega[{s}]") for s in range(n)]
+    return MultistageNetwork(n_ports, stages, name="omega")
+
+
+def baseline(n_ports: int) -> MultistageNetwork:
+    """The baseline network of Wu and Feng.
+
+    Recursive structure: the first stage's switch outputs are split by an
+    inverse shuffle into two half-size baseline subnetworks, and so on.
+    Stage ``s`` therefore pairs adjacent rows and spreads them with an
+    inverse shuffle confined to blocks of size ``N / 2**s``.  With all
+    switches straight the network realizes bit reversal.
+    """
+    n = check_network_size(n_ports)
+    ident = identity(n_ports)
+    stages = []
+    for s in range(n):
+        block = n_ports >> s
+        post = blockwise(n_ports, block, inverse_shuffle) if block > 2 else ident
+        stages.append(Stage(pre=ident, post=post, label=f"baseline[{s}]"))
+    return MultistageNetwork(n_ports, stages, name="baseline")
+
+
+def indirect_binary_cube(n_ports: int) -> MultistageNetwork:
+    """The indirect binary n-cube network.
+
+    Stage ``s`` pairs rows differing in address bit ``s`` (least
+    significant dimension first), realized here by a bit-to-front
+    pre-wiring and its inverse as post-wiring so physical rows persist
+    across levels.  This is the substrate of the Yang-2001 conference
+    network: a conference whose members share their top ``n - k``
+    address bits is fully combined on every member row after ``k``
+    stages.  With all switches straight the network realizes the
+    identity permutation.
+    """
+    n = check_network_size(n_ports)
+    stages = []
+    for s in range(n):
+        wiring = bit_to_front(n_ports, s)
+        stages.append(Stage(pre=wiring, post=wiring.inverse, label=f"cube[{s}]"))
+    return MultistageNetwork(n_ports, stages, name="indirect-binary-cube")
+
+
+def flip(n_ports: int) -> MultistageNetwork:
+    """The flip network: the mirror image of omega (unshuffle after each
+    stage), included as an extension topology."""
+    return omega(n_ports).reversed_network(name="flip")
+
+
+def reverse_baseline(n_ports: int) -> MultistageNetwork:
+    """The reverse baseline network, mirror image of baseline."""
+    return baseline(n_ports).reversed_network(name="reverse-baseline")
+
+
+def _cube_stages(n_ports: int, bit_order: "list[int]") -> MultistageNetwork:
+    """Cube-style stages toggling the given address bits in order."""
+    stages = []
+    for i, b in enumerate(bit_order):
+        wiring = bit_to_front(n_ports, b)
+        stages.append(Stage(pre=wiring, post=wiring.inverse, label=f"cube-bit{b}[{i}]"))
+    return MultistageNetwork(n_ports, stages, name="cube-sequence")
+
+
+def benes_cube(n_ports: int) -> MultistageNetwork:
+    """A Benes-style 2n-1 stage network (cube form): bits 0..n-1..0.
+
+    Extension topology: non-banyan (multiple paths between most port
+    pairs), which buys fault tolerance and routing freedom at the price
+    of nearly doubling the stage count.  With earliest taps, conferences
+    never enter the mirror half; the extra stages matter under faults
+    and final-tap routing (experiment E1/E2).
+    """
+    n = check_network_size(n_ports)
+    order = list(range(n)) + list(range(n - 2, -1, -1))
+    if n == 1:
+        order = [0]
+    net = _cube_stages(n_ports, order)
+    return MultistageNetwork(n_ports, net.stages, name="benes-cube")
+
+
+def extra_stage_cube(n_ports: int) -> MultistageNetwork:
+    """The classic single-extra-stage augmentation: bits 0..n-1, 0.
+
+    One redundant dimension-0 stage, the textbook minimal fault-tolerant
+    multistage network.
+    """
+    n = check_network_size(n_ports)
+    net = _cube_stages(n_ports, list(range(n)) + [0])
+    return MultistageNetwork(n_ports, net.stages, name="extra-stage-cube")
+
+
+#: All topology constructors by canonical name.
+TOPOLOGY_BUILDERS: dict[str, Callable[[int], MultistageNetwork]] = {
+    "omega": omega,
+    "baseline": baseline,
+    "indirect-binary-cube": indirect_binary_cube,
+    "flip": flip,
+    "reverse-baseline": reverse_baseline,
+    "benes-cube": benes_cube,
+    "extra-stage-cube": extra_stage_cube,
+}
+
+#: The three topologies the paper asks its question about.
+PAPER_TOPOLOGIES: tuple[str, ...] = ("baseline", "omega", "indirect-binary-cube")
+
+#: The banyan-class members of the registry (log2(N) stages, unique paths).
+BANYAN_TOPOLOGIES: tuple[str, ...] = (
+    "baseline",
+    "omega",
+    "indirect-binary-cube",
+    "flip",
+    "reverse-baseline",
+)
+
+
+def build(name: str, n_ports: int) -> MultistageNetwork:
+    """Build a topology by registry name.
+
+    Raises ``KeyError`` with the list of known names on a miss so CLI
+    users see their options.
+    """
+    try:
+        builder = TOPOLOGY_BUILDERS[name]
+    except KeyError:
+        known = ", ".join(sorted(TOPOLOGY_BUILDERS))
+        raise KeyError(f"unknown topology {name!r}; known: {known}") from None
+    return builder(n_ports)
+
+
+def radix_delta(n_ports: int, radix: int) -> MultistageNetwork:
+    """A radix-``r`` delta (omega-like) network: ``N = r**n``, ``n``
+    stages of ``r x r`` switches behind digit shuffles.
+
+    The radix generalization of :func:`omega`; ``radix_delta(N, 2)`` is
+    wired identically to ``omega(N)``.
+    """
+    from repro.topology.permutations import digit_count, digit_shuffle
+
+    n = digit_count(n_ports, radix)
+    shuffle = digit_shuffle(n_ports, radix)
+    ident = identity(n_ports)
+    stages = [
+        Stage(pre=shuffle, post=ident, label=f"delta[{s}]", radix=radix)
+        for s in range(n)
+    ]
+    return MultistageNetwork(n_ports, stages, name=f"delta-r{radix}")
+
+
+def radix_cube(n_ports: int, radix: int) -> MultistageNetwork:
+    """The radix-``r`` generalization of the indirect binary cube.
+
+    Stage ``s`` groups rows differing only in base-``r`` digit ``s``
+    onto one ``r x r`` switch, least significant digit first; physical
+    rows persist across levels exactly as in the binary cube, so the
+    same aligned-block (now radix-``r`` block) locality holds.
+    ``radix_cube(N, 2)`` is wired identically to
+    :func:`indirect_binary_cube`.
+    """
+    from repro.topology.permutations import digit_count, digit_to_front
+
+    n = digit_count(n_ports, radix)
+    stages = []
+    for s in range(n):
+        wiring = digit_to_front(n_ports, radix, s)
+        stages.append(
+            Stage(pre=wiring, post=wiring.inverse, label=f"cube-r{radix}[{s}]", radix=radix)
+        )
+    return MultistageNetwork(n_ports, stages, name=f"cube-r{radix}")

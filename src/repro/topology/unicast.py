@@ -1,0 +1,102 @@
+"""Classic unicast and permutation routing on the MIN substrate.
+
+The paper's networks are, underneath the conference machinery, ordinary
+multistage interconnection networks.  This module implements the
+textbook capabilities — destination-tag self-routing of single
+connections and permutation admissibility — both because a conference
+library built on a MIN should expose them and because they provide
+independent oracles for the test suite (e.g. the omega-passable
+permutation criterion cross-checks the wiring).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.topology.graph import unique_path
+from repro.topology.network import MultistageNetwork, Point
+from repro.topology.properties import is_banyan
+from repro.util.bits import ilog2
+from repro.util.validation import check_port
+
+__all__ = [
+    "destination_tag_path",
+    "route_permutation",
+    "is_permutation_passable",
+    "count_passable_permutations",
+]
+
+
+def destination_tag_path(net: MultistageNetwork, source: int, dest: int) -> tuple[Point, ...]:
+    """The self-routed unicast path from ``source`` to ``dest``.
+
+    On a banyan network this is exactly the unique path; the function
+    exists (rather than aliasing :func:`unique_path`) to document the
+    self-routing claim: at stage ``s`` the switch decision is the single
+    output rail from which ``dest`` remains reachable, computable
+    locally.  Verified to match the global unique path by construction.
+    """
+    check_port(source, net.n_ports, "source")
+    check_port(dest, net.n_ports, "dest")
+    path: list[Point] = [(0, source)]
+    level, row = 0, source
+    for s in range(net.n_stages):
+        chosen = None
+        for candidate in net.successors(level, row):
+            if dest in net.reachable_rows(level + 1, candidate[1], net.n_stages):
+                chosen = candidate
+                break
+        if chosen is None:
+            raise ValueError(f"dest {dest} unreachable from ({level}, {row}) in {net.name}")
+        path.append(chosen)
+        level, row = chosen
+    if row != dest:
+        raise AssertionError("destination-tag routing ended on the wrong row")
+    return tuple(path)
+
+
+def route_permutation(
+    net: MultistageNetwork, permutation: Sequence[int]
+) -> "dict[Point, int] | None":
+    """Try to route the full permutation ``i -> permutation[i]`` at once.
+
+    Returns ``link -> source`` when every unicast path is link-disjoint
+    (the permutation is *passable* in one pass), or ``None`` when two
+    connections collide — the classic blocking behaviour of banyan
+    networks, and the reason the paper's conference problem needs the
+    multiplicity analysis in the first place.
+    """
+    n = net.n_ports
+    if sorted(permutation) != list(range(n)):
+        raise ValueError("not a permutation of the port range")
+    if not is_banyan(net):
+        raise ValueError("permutation passability is defined here for banyan networks")
+    owner: dict[Point, int] = {}
+    for src in range(n):
+        for point in unique_path(net, src, permutation[src])[1:]:
+            if point in owner:
+                return None
+            owner[point] = src
+    return owner
+
+
+def is_permutation_passable(net: MultistageNetwork, permutation: Sequence[int]) -> bool:
+    """True when the permutation routes without link conflicts."""
+    return route_permutation(net, permutation) is not None
+
+
+def count_passable_permutations(net: MultistageNetwork) -> int:
+    """Count the permutations an N-port banyan network passes (small N!).
+
+    A banyan network has ``N/2 * log2 N`` switches and hence at most
+    ``2**(N/2 * log2 N)`` states, far fewer than ``N!`` for large N —
+    the counting argument for why banyans block.  Exhaustive, so only
+    sensible for ``N <= 8``.
+    """
+    from itertools import permutations as iter_perms
+
+    n = net.n_ports
+    ilog2(n)
+    if n > 8:
+        raise ValueError("exhaustive permutation count limited to N <= 8")
+    return sum(1 for p in iter_perms(range(n)) if is_permutation_passable(net, p))

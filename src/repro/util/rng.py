@@ -1,0 +1,40 @@
+"""Deterministic random-number plumbing.
+
+Every randomized component in the library (workload generators, the
+randomized worst-case search, the discrete-event traffic model) accepts a
+``seed`` or an already-constructed :class:`numpy.random.Generator`.  This
+module centralizes the coercion so that experiments are reproducible from
+a single integer recorded in their output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng", "spawn_rngs", "RngLike"]
+
+RngLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(seed: "int | np.random.Generator | None") -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    ``None`` produces a fresh OS-seeded generator; an integer produces a
+    deterministic PCG64 stream; an existing generator is passed through
+    untouched so callers can share one stream across components.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: "int | np.random.Generator | None", count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from one seed.
+
+    Uses ``Generator.spawn`` so child streams are statistically
+    independent; used when an experiment fans out over workers or repeats
+    and each repeat must be individually reproducible.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    return ensure_rng(seed).spawn(count)

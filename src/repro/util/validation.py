@@ -1,0 +1,77 @@
+"""Argument validation helpers shared across the library.
+
+Validation raises early with messages that name the offending argument,
+so failures surface at the public API boundary rather than deep inside
+routing loops.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.util.bits import is_power_of_two
+
+__all__ = [
+    "check_network_size",
+    "check_port",
+    "check_ports",
+    "check_stage",
+    "check_positive",
+    "check_probability",
+]
+
+
+def check_network_size(n_ports: int) -> int:
+    """Validate a network size and return its stage count ``log2(N)``.
+
+    Conference networks in this library require ``N`` to be a power of two
+    with at least 2 ports (a single 2x2 switch).
+    """
+    if not isinstance(n_ports, int) or isinstance(n_ports, bool):
+        raise TypeError(f"network size must be an int, got {type(n_ports).__name__}")
+    if n_ports < 2 or not is_power_of_two(n_ports):
+        raise ValueError(f"network size must be a power of two >= 2, got {n_ports}")
+    return n_ports.bit_length() - 1
+
+
+def check_port(port: int, n_ports: int, name: str = "port") -> int:
+    """Validate a single port index against the network size."""
+    if not isinstance(port, int) or isinstance(port, bool):
+        raise TypeError(f"{name} must be an int, got {type(port).__name__}")
+    if not 0 <= port < n_ports:
+        raise ValueError(f"{name} {port} out of range [0, {n_ports})")
+    return port
+
+
+def check_ports(ports: Iterable[int], n_ports: int, name: str = "ports") -> tuple[int, ...]:
+    """Validate an iterable of distinct port indices; returns them sorted."""
+    seen = set()
+    for p in ports:
+        check_port(p, n_ports, name=f"{name} element")
+        if p in seen:
+            raise ValueError(f"{name} contains duplicate port {p}")
+        seen.add(p)
+    return tuple(sorted(seen))
+
+
+def check_stage(stage: int, n_stages: int, inclusive: bool = False) -> int:
+    """Validate a stage index; ``inclusive`` permits ``stage == n_stages``
+    (the output level of the layered graph)."""
+    hi = n_stages + (1 if inclusive else 0)
+    if not 0 <= stage < hi:
+        raise ValueError(f"stage {stage} out of range [0, {hi})")
+    return stage
+
+
+def check_positive(value: float, name: str) -> float:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Require ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value

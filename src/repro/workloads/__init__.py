@@ -1,0 +1,29 @@
+"""Workload generation: random conference sets and exact enumerations."""
+
+from repro.workloads.generators import (
+    aligned_sets,
+    clustered,
+    draw_sizes,
+    interleaved,
+    sample_stream,
+    uniform_partition,
+)
+from repro.workloads.partitions import (
+    conference_sets,
+    count_partial_partitions,
+    pair_families,
+    partial_partitions,
+)
+
+__all__ = [
+    "aligned_sets",
+    "clustered",
+    "conference_sets",
+    "count_partial_partitions",
+    "draw_sizes",
+    "interleaved",
+    "pair_families",
+    "partial_partitions",
+    "sample_stream",
+    "uniform_partition",
+]

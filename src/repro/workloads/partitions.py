@@ -1,0 +1,127 @@
+"""Exact enumeration of conference-set configurations.
+
+The exhaustive worst-case experiments at small ``N`` need every way to
+form pairwise-disjoint conferences on the port set.  Formally these are
+*partial partitions*: partitions of an arbitrary subset of ports into
+blocks, here restricted to blocks of at least 2 members (singleton
+conferences occupy no inter-stage links, so they never affect conflict
+multiplicity).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.core.conference import ConferenceSet
+
+__all__ = [
+    "partial_partitions",
+    "conference_sets",
+    "count_partial_partitions",
+    "pair_families",
+]
+
+
+def partial_partitions(
+    items: Sequence[int], min_block: int = 2, max_blocks: "int | None" = None
+) -> Iterator[tuple[tuple[int, ...], ...]]:
+    """Yield every family of disjoint blocks (size >= ``min_block``).
+
+    Blocks need not cover ``items``.  The enumeration is canonical —
+    each family appears exactly once, with blocks listed in order of
+    their smallest element — and lazy, so callers can stream through
+    large spaces with early termination.
+    """
+    items = tuple(items)
+    if min_block < 1:
+        raise ValueError(f"min_block must be >= 1, got {min_block}")
+
+    def rec(remaining: tuple[int, ...], blocks: list[tuple[int, ...]]) -> Iterator:
+        yield tuple(blocks)
+        if max_blocks is not None and len(blocks) >= max_blocks:
+            return
+        if not remaining:
+            return
+        # The next block must contain the smallest remaining item that we
+        # choose to cover; iterate over which item anchors the new block.
+        for anchor_idx in range(len(remaining)):
+            anchor = remaining[anchor_idx]
+            rest = remaining[anchor_idx + 1 :]
+            for extra in _subsets_of_size_at_least(rest, min_block - 1):
+                block = (anchor, *extra)
+                leftover = tuple(x for x in rest if x not in set(extra))
+                blocks.append(block)
+                yield from rec(leftover, blocks)
+                blocks.pop()
+
+    yield from rec(items, [])
+
+
+def _subsets_of_size_at_least(items: tuple[int, ...], k: int) -> Iterator[tuple[int, ...]]:
+    """All subsets of ``items`` with at least ``k`` elements, lazily."""
+    n = len(items)
+    for mask in range(1 << n):
+        if mask.bit_count() >= k:
+            yield tuple(items[i] for i in range(n) if (mask >> i) & 1)
+
+
+def conference_sets(
+    n_ports: int, min_size: int = 2, min_conferences: int = 1, max_conferences: "int | None" = None
+) -> Iterator[ConferenceSet]:
+    """All valid :class:`ConferenceSet` values on an ``n_ports`` network.
+
+    Feasible only for small networks (``N <= 8``; the space is
+    Bell-number sized); the exhaustive experiments use exactly that.
+    """
+    for family in partial_partitions(range(n_ports), min_block=min_size, max_blocks=max_conferences):
+        if len(family) < min_conferences:
+            continue
+        yield ConferenceSet.of(n_ports, family)
+
+
+def count_partial_partitions(n: int, min_block: int = 2) -> int:
+    """Count the families :func:`partial_partitions` yields for ``n`` items.
+
+    Computed by the same recursion in counting form; used to sanity-check
+    the enumerator and to report search-space sizes in experiment logs.
+    """
+    from math import comb
+
+    # d[k] = partitions of k labelled items into blocks of size >= min_block.
+    d = [0] * (n + 1)
+    d[0] = 1
+    for k in range(1, n + 1):
+        total = 0
+        # Block containing item 1 has size s.
+        for s in range(min_block, k + 1):
+            total += comb(k - 1, s - 1) * d[k - s]
+        d[k] = total
+    return sum(comb(n, k) * d[k] for k in range(n + 1))
+
+
+def pair_families(ports: Sequence[int]) -> Iterator[tuple[tuple[int, int], ...]]:
+    """All families of disjoint 2-member conferences (partial matchings).
+
+    Two-member conferences are the extremal case for link conflicts —
+    every port spent beyond two per conference is wasted for an
+    adversary — so matching-only enumeration reaches much larger ``N``
+    than the full space.
+    """
+    ports = tuple(ports)
+
+    def rec(remaining: tuple[int, ...]) -> Iterator[tuple[tuple[int, int], ...]]:
+        yield ()
+        if len(remaining) < 2:
+            return
+        a = remaining[0]
+        for j in range(1, len(remaining)):
+            b = remaining[j]
+            rest = remaining[1:j] + remaining[j + 1 :]
+            for fam in rec(rest):
+                yield ((a, b), *fam)
+        # Families not using `a` at all.
+        for fam in rec(remaining[1:]):
+            if fam:
+                yield fam
+
+    yield from rec(ports)

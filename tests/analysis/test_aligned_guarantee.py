@@ -1,0 +1,93 @@
+"""The aligned-placement guarantee, per topology — a reconstructed result.
+
+Yang 2001 realizes each conference inside an aligned block and gets a
+conflict-free network.  Which of the paper's three topologies actually
+support that discipline?  Conflict-freedom of a family is a *pairwise*
+property (multiplicity 2 needs two conferences on one link), so
+exhausting conference pairs settles it completely:
+
+* **indirect binary cube** — conflict-free for *any* conferences in
+  disjoint aligned blocks (routes never leave the block's rows; proved
+  via the closed form, checked here).
+* **omega** — conflict-free under buddy placement (members are a prefix
+  of a minimally-sized block), but NOT for arbitrary subsets of
+  disjoint blocks: {0,2} and {4,5} collide.
+* **baseline** — loses the guarantee outright: the full blocks {0,1}
+  and {2,3} collide.
+
+This explains the prior work's choice of the cube as its substrate.
+"""
+
+from itertools import combinations
+
+import pytest
+
+from repro.core.conference import Conference
+from repro.core.routing import route_conference
+from repro.topology.builders import build
+
+N_PORTS = 16
+
+
+def buddy_placed_conferences(n_ports):
+    """Every (members, allocated block) a buddy allocator can produce,
+    for block sizes 2..8: members are a prefix of a minimal block."""
+    out = []
+    for k in (1, 2, 3):
+        for base in range(0, n_ports, 1 << k):
+            for m in range(max(2, (1 << (k - 1)) + 1), (1 << k) + 1):
+                out.append((tuple(range(base, base + m)), (base, base + (1 << k))))
+    return out
+
+
+def block_subset_conferences(n_ports, k=2):
+    """Arbitrary >=2-member subsets of each aligned 2**k block."""
+    out = []
+    for base in range(0, n_ports, 1 << k):
+        block = range(base, base + (1 << k))
+        for r in range(2, (1 << k) + 1):
+            out.extend((tuple(c), (base, base + (1 << k))) for c in combinations(block, r))
+    return out
+
+
+def conflicting_pair(net, confs):
+    links = {members: route_conference(net, Conference.of(members)).links for members, _ in confs}
+    for (c1, b1), (c2, b2) in combinations(confs, 2):
+        if not (b1[1] <= b2[0] or b2[1] <= b1[0]):
+            continue  # allocated blocks overlap: not a legal placement pair
+        if links[c1] & links[c2]:
+            return c1, c2
+    return None
+
+
+class TestBuddyPlacement:
+    @pytest.mark.parametrize("name", ["indirect-binary-cube", "omega"])
+    def test_cube_and_omega_are_conflict_free(self, name):
+        net = build(name, N_PORTS)
+        assert conflicting_pair(net, buddy_placed_conferences(N_PORTS)) is None
+
+    def test_baseline_is_not(self):
+        net = build("baseline", N_PORTS)
+        pair = conflicting_pair(net, buddy_placed_conferences(N_PORTS))
+        assert pair is not None
+        # The canonical counterexample: adjacent size-2 blocks.
+        r1 = route_conference(net, Conference.of((0, 1))).links
+        r2 = route_conference(net, Conference.of((2, 3))).links
+        assert r1 & r2
+
+
+class TestArbitraryBlockSubsets:
+    def test_cube_still_conflict_free(self):
+        """The cube's guarantee is the strongest: any subsets of
+        disjoint blocks, not just buddy prefixes."""
+        net = build("indirect-binary-cube", N_PORTS)
+        assert conflicting_pair(net, block_subset_conferences(N_PORTS)) is None
+
+    def test_omega_is_not(self):
+        net = build("omega", N_PORTS)
+        pair = conflicting_pair(net, block_subset_conferences(N_PORTS))
+        assert pair is not None
+        # The canonical counterexample found by the exhaustive sweep.
+        r1 = route_conference(net, Conference.of((0, 2))).links
+        r2 = route_conference(net, Conference.of((4, 5))).links
+        assert r1 & r2

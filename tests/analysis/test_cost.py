@@ -1,0 +1,90 @@
+"""Tests for the hardware cost models."""
+
+import pytest
+
+from repro.analysis.cost import (
+    cost_table,
+    crossbar_cost,
+    direct_network_cost,
+    yang2001_cost,
+)
+
+
+class TestFormulas:
+    def test_crossbar_is_quadratic(self):
+        c = crossbar_cost(64)
+        assert c.crosspoints == 64 * 64
+        assert c.total_gate_equivalents == 2 * 64 * 64
+        assert c.dilation == 1
+
+    def test_yang2001_components(self):
+        c = yang2001_cost(64)  # n = 6
+        assert c.stages == 6
+        assert c.crosspoints == 4 * 6 * 32
+        assert c.mux_inputs == 64 * 7
+        assert c.dilation == 1
+
+    def test_direct_default_dilation_is_worst_case(self):
+        c = direct_network_cost(64)
+        assert c.dilation == 8  # 2**(6//2)
+        assert c.crosspoints == 4 * 6 * 32 * 8
+
+    def test_direct_explicit_dilation(self):
+        c = direct_network_cost(64, dilation=2, topology="omega")
+        assert c.dilation == 2
+        assert "omega" in c.design
+
+    def test_relay_toggle(self):
+        assert direct_network_cost(64, relay=False).mux_inputs == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            direct_network_cost(64, dilation=0)
+        with pytest.raises(ValueError):
+            crossbar_cost(6)
+
+
+class TestComparisons:
+    def test_yang2001_beats_crossbar_at_scale(self):
+        """The headline motivation: multistage + relay is asymptotically
+        cheaper than a conference crossbar."""
+        for n_ports in (64, 256, 1024, 4096):
+            assert (
+                yang2001_cost(n_ports).total_gate_equivalents
+                < crossbar_cost(n_ports).total_gate_equivalents
+            )
+
+    def test_direct_worst_case_dilation_eventually_beats_crossbar(self):
+        """Even paying Θ(sqrt(N)) dilation, a direct network is
+        O(N^1.5 log N) vs the crossbar's Θ(N^2)."""
+        assert (
+            direct_network_cost(4096).total_gate_equivalents
+            < crossbar_cost(4096).total_gate_equivalents
+        )
+
+    def test_direct_costs_more_than_aligned_design(self):
+        """The price of arbitrary placement: worst-case dilation always
+        costs more hardware than the Yang-2001 aligned design."""
+        for n_ports in (16, 64, 256):
+            assert (
+                direct_network_cost(n_ports).total_gate_equivalents
+                > yang2001_cost(n_ports).total_gate_equivalents
+            )
+
+    def test_cost_scaling_is_monotone(self):
+        totals = [yang2001_cost(1 << n).total_gate_equivalents for n in range(2, 12)]
+        assert totals == sorted(totals)
+
+
+class TestTable:
+    def test_cost_table_rows(self):
+        rows = cost_table([16, 64])
+        assert len(rows) == 8
+        designs = {r.design for r in rows}
+        assert "crossbar" in designs
+        assert any(d.startswith("yang2001") for d in designs)
+
+    def test_row_dict_shape(self):
+        row = crossbar_cost(16).row()
+        assert row["N"] == 16
+        assert row["total"] == row["crosspoints"] + row["mixer_inputs"] + row["mux_inputs"]

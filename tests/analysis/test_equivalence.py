@@ -1,0 +1,68 @@
+"""Tests for topological-equivalence machinery."""
+
+import pytest
+
+from repro.analysis.equivalence import (
+    find_port_relabelling,
+    path_matrix_signature,
+    same_structure,
+)
+from repro.topology.builders import build
+from repro.topology.network import MultistageNetwork, Stage
+from repro.topology.permutations import identity
+
+
+class TestSameStructure:
+    def test_paper_trio_is_equivalent(self):
+        nets = [build(n, 16) for n in ("baseline", "omega", "indirect-binary-cube")]
+        for a in nets:
+            for b in nets:
+                assert same_structure(a, b)
+
+    def test_size_mismatch(self):
+        assert not same_structure(build("omega", 8), build("omega", 16))
+
+    def test_degenerate_differs(self):
+        ident = identity(8)
+        degenerate = MultistageNetwork(8, [Stage(ident, ident)] * 3, name="deg")
+        assert not same_structure(degenerate, build("omega", 8))
+
+
+class TestSignatures:
+    def test_signature_separates_functionally_different_networks(self):
+        """Omega and the cube both realize the identity when straight but
+        route through different internal rows."""
+        sig_omega = path_matrix_signature(build("omega", 8))
+        sig_cube = path_matrix_signature(build("indirect-binary-cube", 8))
+        assert sig_omega != sig_cube
+
+    def test_signature_is_deterministic(self):
+        assert path_matrix_signature(build("baseline", 8)) == path_matrix_signature(
+            build("baseline", 8)
+        )
+
+
+class TestRelabelling:
+    def test_identity_relabelling_for_same_network(self):
+        net = build("omega", 4)
+        found = find_port_relabelling(net, net)
+        assert found is not None
+        pi, po = found
+        assert sorted(pi) == [0, 1, 2, 3]
+
+    def test_relabelling_exists_between_omega_and_cube(self):
+        a = build("omega", 4)
+        b = build("indirect-binary-cube", 4)
+        assert find_port_relabelling(a, b) is not None
+
+    def test_relabelling_exists_between_baseline_and_cube(self):
+        a = build("baseline", 4)
+        b = build("indirect-binary-cube", 4)
+        assert find_port_relabelling(a, b) is not None
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            find_port_relabelling(build("omega", 16), build("omega", 16))
+
+    def test_mismatched_sizes_return_none(self):
+        assert find_port_relabelling(build("omega", 4), build("omega", 8)) is None

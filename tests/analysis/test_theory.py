@@ -1,0 +1,126 @@
+"""Tests that the closed-form theory matches the generic engine."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import theory
+from repro.core.conference import Conference
+from repro.core.routing import route_conference
+from repro.topology.builders import build
+
+
+class TestBounds:
+    def test_cube_law_values(self):
+        assert [theory.cube_link_multiplicity(t, 4) for t in (1, 2, 3, 4)] == [2, 4, 2, 1]
+        assert [theory.cube_link_multiplicity(t, 5) for t in (1, 2, 3, 4, 5)] == [2, 4, 4, 2, 1]
+
+    def test_general_bound_dominates_cube_law(self):
+        for n in range(1, 10):
+            for t in range(1, n + 1):
+                assert theory.general_link_multiplicity_bound(t, n) >= theory.cube_link_multiplicity(t, n)
+
+    def test_omega_bound_values(self):
+        # n=3: (2, 3, 1); n=4: (2, 4, 3, 1)
+        assert [theory.omega_link_multiplicity_bound(t, 3) for t in (1, 2, 3)] == [2, 3, 1]
+        assert [theory.omega_link_multiplicity_bound(t, 4) for t in (1, 2, 3, 4)] == [2, 4, 3, 1]
+
+    def test_max_multiplicity(self):
+        assert theory.max_multiplicity_bound(4) == 4
+        assert theory.max_multiplicity_bound(5) == 4
+        assert theory.max_multiplicity_bound(3, topology="omega") == 3
+        assert theory.max_multiplicity_bound(5, topology="omega") == 7
+        assert theory.max_multiplicity_bound(4, topology="omega") == 4
+
+    def test_profiles(self):
+        assert theory.stage_profile_law(4) == (2, 4, 2, 1)
+        assert theory.stage_profile_law(4, topology="omega") == (2, 4, 3, 1)
+
+    def test_tap_slots(self):
+        assert theory.relay_tap_slots_bound(1, 4) == 15
+        assert theory.relay_tap_slots_bound(4, 4) == 1
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            theory.cube_link_multiplicity(0, 4)
+        with pytest.raises(ValueError):
+            theory.relay_tap_slots_bound(5, 4)
+        with pytest.raises(ValueError):
+            theory.max_multiplicity_bound(0)
+
+
+class TestCubeClosedForms:
+    def test_tap_level_examples(self):
+        assert theory.cube_tap_level([0, 1], 3) == 1
+        assert theory.cube_tap_level([0, 7], 3) == 3
+        assert theory.cube_tap_level([6], 3) == 0
+
+    def test_closed_form_matches_engine_exhaustively(self):
+        """Every one of the 255 conferences at N=8: the closed-form point
+        set equals the generic route's point set."""
+        net = build("indirect-binary-cube", 8)
+        for size in range(1, 9):
+            for members in itertools.combinations(range(8), size):
+                route = route_conference(net, Conference.of(members))
+                assert route.points == theory.cube_route_points(members, 8), members
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.sets(st.integers(0, 31), min_size=1, max_size=8))
+    def test_closed_form_matches_engine_sampled(self, members):
+        net = build("indirect-binary-cube", 32)
+        route = route_conference(net, Conference.of(members))
+        assert route.points == theory.cube_route_points(tuple(members), 32)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.sets(st.integers(0, 15), min_size=1, max_size=6),
+        st.integers(1, 4),
+        st.integers(0, 15),
+    )
+    def test_uses_link_predicate_matches_rows(self, members, t, r):
+        members = tuple(sorted(members))
+        uses = theory.cube_uses_link(members, t, r, 16)
+        assert uses == (r in theory.cube_route_rows(members, t, 16))
+
+    def test_route_stays_in_enclosing_block(self):
+        members = (16, 19, 21)
+        for t in range(1, 6):
+            rows = theory.cube_route_rows(members, t, 32)
+            assert all(16 <= r < 24 for r in rows)
+
+    def test_accepts_conference_objects(self):
+        conf = Conference.of([0, 5])
+        assert theory.cube_route_points(conf, 8) == theory.cube_route_points((0, 5), 8)
+
+
+class TestOmegaClosedForms:
+    def test_reachability_formula_matches_engine(self):
+        net = build("omega", 16)
+        for src in range(16):
+            for t in range(5):
+                reached = net.reachable_rows(0, src, t)
+                for r in range(16):
+                    assert theory.omega_reachable_mask(src, t, r, 4) == (r in reached)
+
+    def test_full_combination_rows(self):
+        # Members 0 and 8 share low bits 000 -> combined on rows 0..1 at t=1.
+        assert theory.omega_full_combination_rows([0, 8], 1, 4) == frozenset({0, 1})
+        # Members 0 and 1 share no suffix -> only the full network combines.
+        assert theory.omega_full_combination_rows([0, 1], 3, 4) == frozenset()
+        assert len(theory.omega_full_combination_rows([0, 1], 4, 4)) == 16
+
+    def test_tap_levels_match_engine(self):
+        net = build("omega", 16)
+        for members in [(0, 8), (0, 1), (3, 7, 11), (5,), (2, 10)]:
+            route = route_conference(net, Conference.of(members))
+            for m in members:
+                assert route.taps[m] == theory.omega_tap_level(members, m, 4)
+
+    def test_tap_level_requires_membership(self):
+        with pytest.raises(ValueError):
+            theory.omega_tap_level((0, 8), 3, 4)
+
+    def test_unique_path_links(self):
+        assert theory.expected_unique_path_links(5) == 5

@@ -1,0 +1,172 @@
+"""Tests for the buddy allocator, aligned placement and admission control."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.admission import (
+    AdmissionController,
+    AdmissionDenied,
+    BuddyAllocator,
+    place_aligned,
+)
+from repro.core.conference import Conference
+from repro.core.network import ConferenceNetwork
+
+
+class TestBuddyAllocator:
+    def test_allocates_aligned_blocks(self):
+        alloc = BuddyAllocator(16)
+        block = alloc.allocate(3)
+        assert len(block) == 4
+        assert block.start % 4 == 0
+
+    def test_exhaustion_raises(self):
+        alloc = BuddyAllocator(8)
+        alloc.allocate(8)
+        with pytest.raises(MemoryError):
+            alloc.allocate(1)
+
+    def test_release_then_reallocate(self):
+        alloc = BuddyAllocator(8)
+        a = alloc.allocate(4)
+        alloc.allocate(4)
+        alloc.release(a.start)
+        c = alloc.allocate(4)
+        assert c.start == a.start
+
+    def test_release_unknown_base(self):
+        with pytest.raises(KeyError):
+            BuddyAllocator(8).release(0)
+
+    def test_size_validation(self):
+        alloc = BuddyAllocator(8)
+        with pytest.raises(ValueError):
+            alloc.allocate(0)
+        with pytest.raises(ValueError):
+            alloc.allocate(9)
+
+    def test_free_capacity_tracking(self):
+        alloc = BuddyAllocator(16)
+        assert alloc.free_capacity() == 16
+        alloc.allocate(4)
+        assert alloc.free_capacity() == 12
+        assert alloc.largest_free_exponent() == 3
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(1, 8), min_size=1, max_size=20), st.randoms())
+    def test_allocator_invariants_under_churn(self, sizes, pyrandom):
+        """Property: live blocks never overlap; freeing everything
+        coalesces back to one max-size block."""
+        alloc = BuddyAllocator(32)
+        live: dict[int, range] = {}
+        for s in sizes:
+            if live and pyrandom.random() < 0.4:
+                base = pyrandom.choice(sorted(live))
+                alloc.release(base)
+                del live[base]
+            try:
+                block = alloc.allocate(s)
+            except MemoryError:
+                continue
+            for other in live.values():
+                assert not (set(block) & set(other)), "overlapping allocations"
+            live[block.start] = block
+        used = sum(len(b) for b in live.values())
+        # free_capacity counts whole blocks (internal fragmentation is
+        # invisible to it), so it complements allocated block sizes.
+        rounded = sum(1 << (len(b) - 1).bit_length() for b in live.values())
+        assert alloc.free_capacity() == 32 - rounded
+        for base in sorted(live):
+            alloc.release(base)
+        assert alloc.largest_free_exponent() == 5
+        assert alloc.free_capacity() == 32
+
+    def test_allocations_snapshot(self):
+        alloc = BuddyAllocator(16)
+        b = alloc.allocate(2)
+        assert alloc.allocations() == {b.start: 1}
+
+
+class TestPlaceAligned:
+    def test_blocks_are_disjoint_and_aligned(self):
+        cs = place_aligned(32, [4, 4, 2, 3, 5])
+        assert len(cs) == 5
+        for conf in cs:
+            k = conf.enclosing_block_exponent(32)
+            assert (1 << k) >= conf.size
+            # Members occupy a prefix of an aligned block.
+            assert conf.members[0] % (1 << k) == 0 or conf.size == 1
+
+    def test_preserves_request_order(self):
+        cs = place_aligned(32, [2, 8, 2])
+        assert cs.sizes() == (2, 8, 2)
+
+    def test_overflow_raises(self):
+        with pytest.raises(MemoryError):
+            place_aligned(8, [5, 5])
+
+    def test_aligned_sets_are_conflict_free_on_cube(self):
+        """The Yang-2001 guarantee: block placement + cube = no conflicts."""
+        network = ConferenceNetwork.build("indirect-binary-cube", 64)
+        cs = place_aligned(64, [4, 4, 8, 2, 2, 3, 6, 16])
+        routes = network.route_set(cs)
+        assert network.conflicts(routes).conflict_free
+
+
+class TestAdmissionController:
+    def make(self, dilation=1, topology="indirect-binary-cube", ports=16):
+        return AdmissionController(
+            ConferenceNetwork.build(topology, ports, dilation=dilation)
+        )
+
+    def test_join_and_leave_cycle(self):
+        ctl = self.make(dilation=4)
+        route = ctl.try_join(Conference.of([0, 3], conference_id=1))
+        assert ctl.live_conferences == (1,)
+        assert ctl.peak_load() == 1
+        assert all(ctl.link_load(link) == 1 for link in route.links)
+        ctl.leave(1)
+        assert ctl.live_conferences == ()
+        assert ctl.peak_load() == 0
+
+    def test_capacity_denial(self):
+        ctl = self.make(dilation=1)
+        ctl.try_join(Conference.of([0, 3], conference_id=1))
+        with pytest.raises(AdmissionDenied) as exc:
+            ctl.try_join(Conference.of([1, 2], conference_id=2))
+        assert exc.value.reason == "capacity"
+        # The denied conference left no residue.
+        assert ctl.live_conferences == (1,)
+
+    def test_port_denial(self):
+        ctl = self.make(dilation=8)
+        ctl.try_join(Conference.of([0, 3], conference_id=1))
+        with pytest.raises(AdmissionDenied) as exc:
+            ctl.try_join(Conference.of([3, 4], conference_id=2))
+        assert exc.value.reason == "ports"
+
+    def test_duplicate_id_denied(self):
+        ctl = self.make(dilation=8)
+        ctl.try_join(Conference.of([0, 3], conference_id=1))
+        with pytest.raises(AdmissionDenied):
+            ctl.try_join(Conference.of([8, 9], conference_id=1))
+
+    def test_leave_unknown(self):
+        with pytest.raises(KeyError):
+            self.make().leave(42)
+
+    def test_snapshot_is_valid_set(self):
+        ctl = self.make(dilation=8)
+        ctl.try_join(Conference.of([0, 3], conference_id=1))
+        ctl.try_join(Conference.of([8, 9], conference_id=2))
+        snap = ctl.snapshot()
+        assert len(snap) == 2
+        assert snap.occupied_ports == frozenset({0, 3, 8, 9})
+
+    def test_capacity_freed_after_leave(self):
+        ctl = self.make(dilation=1)
+        ctl.try_join(Conference.of([0, 3], conference_id=1))
+        ctl.leave(1)
+        ctl.try_join(Conference.of([1, 2], conference_id=2))
+        assert ctl.live_conferences == (2,)

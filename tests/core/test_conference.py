@@ -1,0 +1,114 @@
+"""Tests for conference and conference-set abstractions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.conference import Conference, ConferenceSet
+
+
+class TestConference:
+    def test_members_sorted_and_deduped_rejected(self):
+        conf = Conference.of([5, 1, 3])
+        assert conf.members == (1, 3, 5)
+        with pytest.raises(ValueError, match="duplicate"):
+            Conference.of([1, 1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Conference.of([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Conference.of([-1, 2])
+
+    def test_size_and_masks(self):
+        conf = Conference.of([2, 4, 9])
+        assert conf.size == 3
+        assert conf.full_mask == 0b111
+        assert conf.member_set == frozenset({2, 4, 9})
+
+    def test_member_index(self):
+        conf = Conference.of([2, 4, 9])
+        assert conf.member_index(4) == 1
+        with pytest.raises(ValueError):
+            conf.member_index(5)
+
+    def test_enclosing_block(self):
+        assert Conference.of([0, 3]).enclosing_block_exponent(8) == 2
+        assert Conference.of([3, 4]).enclosing_block_exponent(8) == 3
+        assert Conference.of([6]).enclosing_block_exponent(8) == 0
+
+    def test_enclosing_block_out_of_range(self):
+        with pytest.raises(ValueError):
+            Conference.of([9]).enclosing_block_exponent(8)
+
+    def test_block_alignment(self):
+        assert Conference.of([4, 5, 6, 7]).is_block_aligned(8)
+        assert not Conference.of([4, 5, 7]).is_block_aligned(8)
+        assert Conference.of([3]).is_block_aligned(8)
+
+    def test_spans(self):
+        assert list(Conference.of([5, 6]).spans(8)) == [4, 5, 6, 7]
+
+    @given(st.sets(st.integers(0, 63), min_size=1, max_size=10))
+    def test_spans_contains_members(self, members):
+        conf = Conference.of(members)
+        span = conf.spans(64)
+        assert all(m in span for m in conf.members)
+        assert len(span) == 1 << conf.enclosing_block_exponent(64)
+
+
+class TestConferenceSet:
+    def test_disjointness_enforced(self):
+        with pytest.raises(ValueError, match="overlaps"):
+            ConferenceSet.of(8, [[0, 1], [1, 2]])
+
+    def test_duplicate_ids_rejected(self):
+        confs = (Conference.of([0], 1), Conference.of([1], 1))
+        with pytest.raises(ValueError, match="duplicate conference id"):
+            ConferenceSet(8, confs)
+
+    def test_out_of_range_member(self):
+        with pytest.raises(ValueError):
+            ConferenceSet.of(8, [[0, 8]])
+
+    def test_auto_ids_and_iteration(self):
+        cs = ConferenceSet.of(8, [[0, 1], [4, 5]])
+        assert [c.conference_id for c in cs] == [0, 1]
+        assert len(cs) == 2
+        assert cs[1].members == (4, 5)
+
+    def test_occupied_and_load(self):
+        cs = ConferenceSet.of(8, [[0, 1], [4, 5]])
+        assert cs.occupied_ports == frozenset({0, 1, 4, 5})
+        assert cs.load == pytest.approx(0.5)
+        assert cs.sizes() == (2, 2)
+
+    def test_add_remove(self):
+        cs = ConferenceSet.of(8, [[0, 1]])
+        bigger = cs.add(Conference.of([2, 3], conference_id=9))
+        assert len(bigger) == 2
+        smaller = bigger.remove(9)
+        assert len(smaller) == 1
+        with pytest.raises(KeyError):
+            smaller.remove(9)
+
+    def test_add_overlapping_rejected(self):
+        cs = ConferenceSet.of(8, [[0, 1]])
+        with pytest.raises(ValueError):
+            cs.add(Conference.of([1, 2], conference_id=5))
+
+    def test_empty_set_is_valid(self):
+        cs = ConferenceSet.of(8, [])
+        assert len(cs) == 0
+        assert cs.load == 0.0
+
+    def test_n_stages(self):
+        assert ConferenceSet.of(32, []).n_stages == 5
+
+    @given(st.permutations(range(16)), st.integers(2, 5))
+    def test_partitions_always_valid(self, perm, k):
+        groups = [perm[i::k] for i in range(k)]
+        cs = ConferenceSet.of(16, [g for g in groups if g])
+        assert cs.occupied_ports == frozenset(range(16))

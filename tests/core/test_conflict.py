@@ -1,0 +1,78 @@
+"""Tests for conflict accounting."""
+
+import pytest
+
+from repro.core.conference import Conference
+from repro.core.conflict import analyze_conflicts, link_loads
+from repro.core.routing import route_conference
+from repro.topology.builders import build
+
+
+def routes_for(net, groups):
+    return [
+        route_conference(net, Conference.of(g, conference_id=i))
+        for i, g in enumerate(groups)
+    ]
+
+
+class TestLinkLoads:
+    def test_loads_count_conferences_per_link(self):
+        net = build("indirect-binary-cube", 8)
+        routes = routes_for(net, [[0, 3], [1, 2]])
+        loads = link_loads(routes)
+        # Both conferences spread over rows 0..3 at level 1, then collapse
+        # back onto their own member rows at level 2.
+        for row in range(4):
+            assert loads[(1, row)] == 2
+        for row in range(4):
+            assert loads[(2, row)] == 1
+        assert all(level >= 1 for (level, _row) in loads)
+
+    def test_disjoint_rows_no_conflict(self):
+        net = build("indirect-binary-cube", 8)
+        routes = routes_for(net, [[0, 1], [2, 3]])
+        assert max(link_loads(routes).values()) == 1
+
+
+class TestAnalyze:
+    def test_report_fields(self):
+        net = build("indirect-binary-cube", 8)
+        routes = routes_for(net, [[0, 3], [1, 2]])
+        report = analyze_conflicts(routes)
+        assert report.n_conferences == 2
+        assert report.max_multiplicity == 2
+        assert not report.conflict_free
+        assert report.required_dilation == 2
+        assert report.stage_profile == (2, 1, 0)
+        assert report.worst_link[0] == 1
+        assert dict(report.load_histogram)[2] == 4
+        assert "2 conferences" in report.describe()
+
+    def test_conflict_free_report(self):
+        net = build("indirect-binary-cube", 8)
+        routes = routes_for(net, [[0, 1], [2, 3]])
+        report = analyze_conflicts(routes)
+        assert report.conflict_free
+        assert report.required_dilation == 1
+
+    def test_empty_routes_need_stage_count(self):
+        with pytest.raises(ValueError):
+            analyze_conflicts([])
+        report = analyze_conflicts([], n_stages=3)
+        assert report.max_multiplicity == 0
+        assert report.stage_profile == (0, 0, 0)
+        assert report.worst_link is None
+
+    def test_mixed_networks_rejected(self):
+        r8 = routes_for(build("omega", 8), [[0, 1]])
+        r16 = routes_for(build("omega", 16), [[0, 1]])
+        with pytest.raises(ValueError, match="different stage counts"):
+            analyze_conflicts(r8 + r16)
+
+    def test_total_links_used(self):
+        net = build("indirect-binary-cube", 8)
+        routes = routes_for(net, [[0, 1], [2, 3]])
+        report = analyze_conflicts(routes)
+        assert report.total_links_used == len(
+            routes[0].links | routes[1].links
+        )

@@ -1,0 +1,73 @@
+"""Tests for the ConferenceNetwork facade."""
+
+import pytest
+
+from repro.core.conference import Conference, ConferenceSet
+from repro.core.network import ConferenceNetwork
+from repro.core.routing import RoutingPolicy, TapPolicy
+from repro.switching.fabric import CapacityExceeded
+from repro.topology.builders import build
+
+
+class TestConstruction:
+    def test_build_by_name(self):
+        net = ConferenceNetwork.build("omega", 16)
+        assert net.n_ports == 16
+        assert net.n_stages == 4
+        assert net.topology.name == "omega"
+        assert net.relay_enabled
+        assert "omega" in repr(net)
+
+    def test_explicit_topology(self):
+        net = ConferenceNetwork(build("baseline", 8), dilation=2)
+        assert net.dilation == 2
+
+    def test_relay_off_forces_final_taps(self):
+        net = ConferenceNetwork.build("omega", 8, relay_enabled=False)
+        assert net.policy.tap_policy is TapPolicy.FINAL
+
+    def test_relay_off_with_early_policy_rejected(self):
+        with pytest.raises(ValueError, match="relay"):
+            ConferenceNetwork.build(
+                "omega", 8, policy=RoutingPolicy(tap_policy=TapPolicy.EARLIEST),
+                relay_enabled=False,
+            )
+
+
+class TestRouting:
+    def test_route_accepts_bare_ports(self):
+        net = ConferenceNetwork.build("indirect-binary-cube", 16)
+        route = net.route([3, 5])
+        assert route.conference.members == (3, 5)
+
+    def test_route_set_preserves_order(self):
+        net = ConferenceNetwork.build("indirect-binary-cube", 16)
+        routes = net.route_set([[0, 1], [4, 5]])
+        assert [r.conference.members for r in routes] == [(0, 1), (4, 5)]
+
+    def test_coerce_rejects_wrong_size_set(self):
+        net = ConferenceNetwork.build("omega", 16)
+        with pytest.raises(ValueError, match="sized for"):
+            net.route_set(ConferenceSet.of(8, [[0, 1]]))
+
+    def test_realize_reports_everything(self):
+        net = ConferenceNetwork.build("omega", 16, dilation=4)
+        result = net.realize([[0, 5, 9], [1, 2]])
+        assert result.ok
+        assert result.conflicts.n_conferences == 2
+        assert len(result.routes) == 2
+        assert set(result.delivery.delivered) == {0, 1}
+
+    def test_realize_respects_dilation(self):
+        net = ConferenceNetwork.build("indirect-binary-cube", 8, dilation=1)
+        with pytest.raises(CapacityExceeded):
+            net.realize([[0, 3], [1, 2]])
+        wide = ConferenceNetwork.build("indirect-binary-cube", 8, dilation=2)
+        assert wide.realize([[0, 3], [1, 2]]).ok
+
+    def test_realize_without_relay(self):
+        net = ConferenceNetwork.build("omega", 8, dilation=8, relay_enabled=False)
+        result = net.realize([[0, 4], [1, 5]])
+        assert result.ok
+        for route in result.routes:
+            assert set(route.taps.values()) == {net.n_stages}

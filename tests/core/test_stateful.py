@@ -1,0 +1,116 @@
+"""Stateful property tests (hypothesis RuleBasedStateMachine).
+
+Long random interleavings of operations against simple reference
+models: the buddy allocator against a set-based overlap checker, and
+the admission controller against recomputed-from-scratch link loads.
+"""
+
+from collections import Counter
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.core.admission import AdmissionController, AdmissionDenied, BuddyAllocator
+from repro.core.conference import Conference
+from repro.core.network import ConferenceNetwork
+
+
+class BuddyMachine(RuleBasedStateMachine):
+    """The buddy allocator never overlaps, never leaks, always coalesces."""
+
+    def __init__(self):
+        super().__init__()
+        self.alloc = BuddyAllocator(64)
+        self.live: dict[int, range] = {}
+
+    @rule(size=st.integers(1, 32))
+    def allocate(self, size):
+        try:
+            block = self.alloc.allocate(size)
+        except MemoryError:
+            # Denial is only legal when no free block is big enough.
+            need = max(0, (size - 1).bit_length())
+            assert self.alloc.largest_free_exponent() < need
+            return
+        for other in self.live.values():
+            assert block.stop <= other.start or other.stop <= block.start
+        self.live[block.start] = block
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def release(self, data):
+        base = data.draw(st.sampled_from(sorted(self.live)))
+        self.alloc.release(base)
+        del self.live[base]
+
+    @invariant()
+    def capacity_accounts_for_block_sizes(self):
+        used = sum(len(b) for b in self.live.values())
+        assert self.alloc.free_capacity() == 64 - used
+
+    @invariant()
+    def empty_means_fully_coalesced(self):
+        if not self.live:
+            assert self.alloc.largest_free_exponent() == 6
+
+
+class AdmissionMachine(RuleBasedStateMachine):
+    """The admission controller's ledger always equals a from-scratch
+    recomputation, and capacity is never exceeded."""
+
+    def __init__(self):
+        super().__init__()
+        self.network = ConferenceNetwork.build("indirect-binary-cube", 16, dilation=2)
+        self.ctl = AdmissionController(self.network)
+        self.next_id = 0
+        self.live: dict[int, Conference] = {}
+
+    @rule(data=st.data())
+    def join(self, data):
+        free = sorted(set(range(16)) - {p for c in self.live.values() for p in c.members})
+        if len(free) < 2:
+            return
+        size = data.draw(st.integers(2, min(4, len(free))))
+        members = data.draw(
+            st.lists(st.sampled_from(free), min_size=size, max_size=size, unique=True)
+        )
+        conf = Conference.of(members, conference_id=self.next_id)
+        self.next_id += 1
+        try:
+            self.ctl.try_join(conf)
+        except AdmissionDenied as denial:
+            assert denial.reason == "capacity"  # ports were free by construction
+            return
+        self.live[conf.conference_id] = conf
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def leave(self, data):
+        cid = data.draw(st.sampled_from(sorted(self.live)))
+        self.ctl.leave(cid)
+        del self.live[cid]
+
+    @invariant()
+    def ledger_matches_recomputation(self):
+        expected = Counter()
+        for conf in self.live.values():
+            expected.update(self.network.route(conf).links)
+        for link, load in expected.items():
+            assert self.ctl.link_load(link) == load
+        assert self.ctl.peak_load() == max(expected.values(), default=0)
+
+    @invariant()
+    def capacity_never_exceeded(self):
+        assert self.ctl.peak_load() <= self.network.dilation
+
+    @invariant()
+    def live_sets_agree(self):
+        assert set(self.ctl.live_conferences) == set(self.live)
+
+
+TestBuddyMachine = BuddyMachine.TestCase
+TestBuddyMachine.settings = settings(max_examples=40, stateful_step_count=30, deadline=None)
+
+TestAdmissionMachine = AdmissionMachine.TestCase
+TestAdmissionMachine.settings = settings(max_examples=25, stateful_step_count=25, deadline=None)

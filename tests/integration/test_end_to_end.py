@@ -1,0 +1,119 @@
+"""Cross-module integration tests: the paper's story end to end.
+
+Each test exercises several subsystems together — workload generation,
+routing, conflict analysis, the hardware fabric, admission control — and
+asserts the relationships the reproduction's experiments report.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Conference,
+    ConferenceNetwork,
+    ConferenceSet,
+    PAPER_TOPOLOGIES,
+    place_aligned,
+)
+from repro.analysis.theory import max_multiplicity_bound
+from repro.analysis.worstcase import cube_adversarial_set
+from repro.switching.fabric import CapacityExceeded
+from repro.workloads.generators import uniform_partition
+
+TOPOLOGIES = sorted(PAPER_TOPOLOGIES)
+
+
+class TestRandomTrafficRealization:
+    @settings(max_examples=20, deadline=None)
+    @given(name=st.sampled_from(TOPOLOGIES), seed=st.integers(0, 10_000))
+    def test_any_random_set_realizes_with_enough_dilation(self, name, seed):
+        """Route a random disjoint set, read off its required dilation,
+        provision exactly that, and verify hardware delivery."""
+        workload = uniform_partition(32, load=0.8, seed=seed)
+        probe = ConferenceNetwork.build(name, 32, dilation=32)
+        needed = probe.conflicts(probe.route_set(workload)).required_dilation
+        network = ConferenceNetwork.build(name, 32, dilation=needed)
+        result = network.realize(workload)
+        assert result.ok
+        assert result.conflicts.required_dilation == needed
+        if needed > 1:
+            tight = ConferenceNetwork.build(name, 32, dilation=needed - 1)
+            with pytest.raises(CapacityExceeded):
+                tight.realize(workload)
+
+    @settings(max_examples=15, deadline=None)
+    @given(name=st.sampled_from(TOPOLOGIES), seed=st.integers(0, 10_000))
+    def test_random_multiplicity_never_exceeds_worst_case(self, name, seed):
+        n = 5  # N = 32
+        workload = uniform_partition(32, load=1.0, seed=seed)
+        network = ConferenceNetwork.build(name, 32, dilation=32)
+        report = network.conflicts(network.route_set(workload))
+        bound = max_multiplicity_bound(n, topology="omega" if name == "omega" else name)
+        assert report.max_multiplicity <= bound
+
+
+class TestPaperNarrative:
+    def test_worst_case_needs_sqrt_n_dilation_on_the_cube(self):
+        """The adversarial set really cannot be carried below 2**(n/2)."""
+        n_ports = 64
+        adversarial = cube_adversarial_set(n_ports)
+        bound = max_multiplicity_bound(6)
+        exact = ConferenceNetwork.build("indirect-binary-cube", n_ports, dilation=bound)
+        assert exact.realize(adversarial).ok
+        short = ConferenceNetwork.build("indirect-binary-cube", n_ports, dilation=bound - 1)
+        with pytest.raises(CapacityExceeded):
+            short.realize(adversarial)
+
+    def test_aligned_placement_fixes_the_same_traffic_shape(self):
+        """Re-homing the adversarial conferences into aligned blocks
+        removes every conflict — the Yang-2001 contrast."""
+        n_ports = 64
+        adversarial = cube_adversarial_set(n_ports)
+        aligned = place_aligned(n_ports, [c.size for c in adversarial])
+        network = ConferenceNetwork.build("indirect-binary-cube", n_ports, dilation=1)
+        assert network.realize(aligned).ok
+
+    def test_all_three_topologies_carry_aligned_traffic_somehow(self):
+        """Aligned placement is conflict-free on the cube (for any
+        block-confined conferences) and on omega under buddy-prefix
+        placement, but baseline loses the guarantee outright — see
+        tests/analysis/test_aligned_guarantee.py for the exhaustive
+        taxonomy."""
+        aligned = place_aligned(32, [4, 4, 2, 2, 8, 3])
+        multiplicities = {}
+        for name in TOPOLOGIES:
+            network = ConferenceNetwork.build(name, 32, dilation=32)
+            report = network.conflicts(network.route_set(aligned))
+            multiplicities[name] = report.max_multiplicity
+        assert multiplicities["indirect-binary-cube"] == 1
+        assert multiplicities["omega"] >= 1
+
+    def test_every_member_hears_everyone_in_a_big_mixed_set(self):
+        groups = [[0, 9, 22, 31], [1, 2, 3], [4, 12], [5], list(range(16, 22))]
+        for name in TOPOLOGIES:
+            network = ConferenceNetwork.build(name, 32, dilation=8)
+            result = network.realize(groups)
+            assert result.ok
+            for route in result.routes:
+                expected = route.conference.member_set
+                delivered = result.delivery.delivered[route.conference.conference_id]
+                assert all(v == expected for v in delivered.values())
+
+
+class TestRelayValue:
+    def test_relay_shortens_paths_and_sheds_load(self):
+        """The mux relay (Yang's enhancement) strictly reduces stages
+        traversed and links used for block-local conferences."""
+        groups = [[0, 1], [2, 3], [8, 9, 10, 11]]
+        with_relay = ConferenceNetwork.build("indirect-binary-cube", 16, dilation=4)
+        without = ConferenceNetwork.build(
+            "indirect-binary-cube", 16, dilation=4, relay_enabled=False
+        )
+        r_on = with_relay.realize(groups)
+        r_off = without.realize(groups)
+        assert r_on.ok and r_off.ok
+        links_on = sum(r.n_links for r in r_on.routes)
+        links_off = sum(r.n_links for r in r_off.routes)
+        assert links_on < links_off
+        assert max(r.depth for r in r_on.routes) < max(r.depth for r in r_off.routes)

@@ -1,0 +1,49 @@
+"""Tests for ASCII network/route rendering."""
+
+import pytest
+
+from repro.core.conference import Conference
+from repro.core.routing import route_conference
+from repro.report.ascii import render_network, render_routes, render_stage_profile
+from repro.topology.builders import build
+
+
+class TestRenderNetwork:
+    def test_contains_every_row(self):
+        text = render_network(build("omega", 8))
+        for row in range(8):
+            assert f"\n{row:3d} |" in text
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            render_network(build("omega", 128))
+
+
+class TestRenderRoutes:
+    def test_conflict_markers(self):
+        net = build("indirect-binary-cube", 8)
+        routes = [
+            route_conference(net, Conference.of([0, 3], conference_id=0)),
+            route_conference(net, Conference.of([1, 2], conference_id=1)),
+        ]
+        text = render_routes(net, routes)
+        assert "*0+1" in text  # contested links show both owners
+        assert ">" in text  # taps marked
+
+    def test_idle_rows_are_dots(self):
+        net = build("indirect-binary-cube", 8)
+        routes = [route_conference(net, Conference.of([0, 1], conference_id=0))]
+        text = render_routes(net, routes)
+        last_row = text.splitlines()[-1]
+        assert set(last_row.split("|")[1].split()) == {"."}
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            render_routes(build("omega", 128), [])
+
+
+class TestStageProfile:
+    def test_renders_all_series(self):
+        text = render_stage_profile({"omega": (2, 3, 1), "cube": (2, 2, 1)})
+        assert "omega" in text and "cube" in text
+        assert "t=2:3" in text

@@ -1,0 +1,55 @@
+"""Tests for table rendering and CSV output."""
+
+import csv
+
+from repro.report.tables import format_value, render_table, write_csv
+
+
+class TestFormatValue:
+    def test_floats_rounded(self):
+        assert format_value(0.123456) == "0.1235"
+
+    def test_bools(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_strings_passthrough(self):
+        assert format_value("omega") == "omega"
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        rows = [{"name": "a", "value": 1}, {"name": "longer", "value": 22}]
+        text = render_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len({len(l) for l in lines[1:]}) <= 2  # consistent widths
+
+    def test_column_selection_and_missing_keys(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        text = render_table(rows, columns=["b", "a"])
+        header = text.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_empty_rows(self):
+        assert "(no rows)" in render_table([], title="x")
+
+
+class TestWriteCsv:
+    def test_round_trip(self, tmp_path):
+        rows = [{"n": 8, "value": 1.5}, {"n": 16, "value": 2.5}]
+        path = write_csv(tmp_path / "sub" / "out.csv", rows)
+        with path.open() as fh:
+            back = list(csv.DictReader(fh))
+        assert back == [{"n": "8", "value": "1.5"}, {"n": "16", "value": "2.5"}]
+
+    def test_empty_rows_produce_empty_file(self, tmp_path):
+        path = write_csv(tmp_path / "empty.csv", [])
+        assert path.read_text() == "\n" or path.read_text() == "\r\n"
+
+    def test_extra_keys_ignored_with_columns(self, tmp_path):
+        path = write_csv(tmp_path / "o.csv", [{"a": 1, "b": 2}], columns=["a"])
+        with path.open() as fh:
+            back = list(csv.DictReader(fh))
+        assert back == [{"a": "1"}]

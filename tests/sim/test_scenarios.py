@@ -1,0 +1,53 @@
+"""Tests for the canned simulation scenarios."""
+
+import pytest
+
+from repro.core.network import ConferenceNetwork
+from repro.sim.scenarios import blocking_vs_dilation, placement_comparison, run_traffic
+from repro.sim.traffic import TrafficConfig
+
+
+class TestRunTraffic:
+    def test_returns_stats(self):
+        net = ConferenceNetwork.build("omega", 32, dilation=4)
+        stats = run_traffic(net, TrafficConfig(), duration=100.0, seed=0)
+        assert stats.offered > 0
+
+    def test_duration_validated(self):
+        net = ConferenceNetwork.build("omega", 32)
+        with pytest.raises(ValueError):
+            run_traffic(net, TrafficConfig(), duration=0)
+
+
+class TestBlockingVsDilation:
+    def test_blocking_monotone_in_dilation(self):
+        """More link capacity can only reduce capacity blocking (up to
+        simulation noise, controlled here by a long-ish run)."""
+        rows = blocking_vs_dilation(
+            "indirect-binary-cube", 32, [1, 2, 4, 8],
+            config=TrafficConfig(arrival_rate=1.5, mean_holding=8.0),
+            duration=600.0, seed=12,
+        )
+        probs = [r["capacity_blocking_probability"] for r in rows]
+        assert probs[0] > probs[-1]
+        assert probs[-1] <= 0.05
+
+    def test_rows_carry_parameters(self):
+        rows = blocking_vs_dilation("omega", 16, [1, 2], duration=50.0)
+        assert [r["dilation"] for r in rows] == [1, 2]
+        assert all(r["topology"] == "omega" for r in rows)
+
+
+class TestPlacementComparison:
+    def test_aligned_beats_uniform_on_cube(self):
+        out = placement_comparison(
+            "indirect-binary-cube", 32, dilation=1,
+            config=TrafficConfig(arrival_rate=2.0, mean_holding=8.0),
+            duration=400.0, seed=5,
+        )
+        assert out["aligned"].blocked["capacity"] == 0
+        assert out["uniform"].blocked["capacity"] > 0
+
+    def test_keys(self):
+        out = placement_comparison("omega", 16, duration=50.0)
+        assert set(out) == {"uniform", "aligned"}

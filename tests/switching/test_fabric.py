@@ -1,0 +1,133 @@
+"""Tests for the hardware-level fabric simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conference import Conference, ConferenceSet
+from repro.core.routing import RoutingPolicy, TapPolicy, route_conference
+from repro.switching.fabric import CapacityExceeded, Fabric
+from repro.topology.builders import PAPER_TOPOLOGIES, build
+
+TOPOLOGIES = sorted(PAPER_TOPOLOGIES)
+
+
+def routes_for(net, groups, policy=None):
+    return [
+        route_conference(net, Conference.of(g, conference_id=i), policy)
+        for i, g in enumerate(groups)
+    ]
+
+
+class TestDelivery:
+    @pytest.mark.parametrize("name", TOPOLOGIES)
+    def test_simple_set_delivers(self, name):
+        net = build(name, 16)
+        fabric = Fabric(net, dilation=16)
+        routes = routes_for(net, [[0, 5, 9], [12, 13], [1, 2, 3, 4]])
+        report = fabric.simulate(routes)
+        assert report.correct
+        for route in routes:
+            cid = route.conference.conference_id
+            for port in route.conference.members:
+                assert report.delivered[cid][port] == route.conference.member_set
+
+    @pytest.mark.parametrize("name", TOPOLOGIES)
+    def test_singleton_hears_itself(self, name):
+        net = build(name, 8)
+        fabric = Fabric(net)
+        report = fabric.simulate(routes_for(net, [[3]]))
+        assert report.correct
+        assert report.delivered[0][3] == frozenset({3})
+
+    @pytest.mark.parametrize("name", TOPOLOGIES)
+    def test_whole_network_conference(self, name):
+        net = build(name, 16)
+        fabric = Fabric(net)
+        report = fabric.simulate(routes_for(net, [list(range(16))]))
+        assert report.correct
+
+    def test_final_tap_policy_also_delivers(self):
+        net = build("omega", 16)
+        fabric = Fabric(net, dilation=4, relay_enabled=False)
+        routes = routes_for(net, [[0, 3, 9]], RoutingPolicy(tap_policy=TapPolicy.FINAL))
+        assert fabric.simulate(routes).correct
+
+    def test_relay_disabled_rejects_early_taps(self):
+        net = build("omega", 16)
+        fabric = Fabric(net, dilation=4, relay_enabled=False)
+        # Members {0, 8} share their low bits, so member 0's earliest tap
+        # is level 1 — illegal without the relay.
+        routes = routes_for(net, [[0, 8]])
+        report = fabric.simulate(routes)
+        assert not report.correct
+        assert any("relay" in err for err in report.errors)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        name=st.sampled_from(TOPOLOGIES),
+        data=st.data(),
+    )
+    def test_random_disjoint_sets_deliver_exactly(self, name, data):
+        """Property: on the real fabric, every member of every conference
+        hears exactly the full mix, never more, never less."""
+        net = build(name, 16)
+        ports = data.draw(st.permutations(range(16)))
+        n_confs = data.draw(st.integers(1, 5))
+        cuts = sorted(data.draw(
+            st.lists(st.integers(1, 15), min_size=n_confs - 1, max_size=n_confs - 1, unique=True)
+        ))
+        groups = [list(g) for g in _split(ports, cuts) if g]
+        fabric = Fabric(net, dilation=len(groups) or 1)
+        report = fabric.simulate(routes_for(net, groups), check_capacity=True)
+        assert report.correct
+
+
+def _split(seq, cuts):
+    prev = 0
+    for c in list(cuts) + [len(seq)]:
+        yield seq[prev:c]
+        prev = c
+
+
+class TestCapacity:
+    def test_capacity_enforced(self):
+        net = build("indirect-binary-cube", 16)
+        fabric = Fabric(net, dilation=1)
+        # Interleaved conferences {0,3} and {1,2} both spread over rows
+        # 0..3 at stage 1 of the cube.
+        routes = routes_for(net, [[0, 3], [1, 2]])
+        with pytest.raises(CapacityExceeded) as exc:
+            fabric.simulate(routes)
+        assert exc.value.demanded == 2
+        assert exc.value.capacity == 1
+
+    def test_capacity_check_can_be_disabled(self):
+        net = build("indirect-binary-cube", 16)
+        fabric = Fabric(net, dilation=1)
+        routes = routes_for(net, [[0, 3], [1, 2]])
+        report = fabric.simulate(routes, check_capacity=False)
+        assert report.correct  # signals still deliver; peak load reports the conflict
+        assert report.peak_link_load == 2
+
+    def test_dilation_validation(self):
+        with pytest.raises(ValueError):
+            Fabric(build("omega", 8), dilation=0)
+
+
+class TestGuards:
+    def test_overlapping_conferences_rejected(self):
+        net = build("omega", 8)
+        fabric = Fabric(net, dilation=4)
+        routes = routes_for(net, [[0, 1], [1, 2]])
+        with pytest.raises(ValueError, match="share port"):
+            fabric.simulate(routes)
+
+    def test_derive_settings_cover_route_stages(self):
+        net = build("baseline", 16)
+        fabric = Fabric(net, dilation=4)
+        (route,) = routes_for(net, [[0, 7, 11]])
+        settings = fabric.derive_settings([route])
+        deepest = max(route.taps.values())
+        stages_touched = {key[0] for key in settings}
+        assert stages_touched == set(range(deepest))

@@ -1,0 +1,54 @@
+"""Tests for the output multiplexer relay."""
+
+import pytest
+
+from repro.switching.mux import MuxBank, OutputMux
+
+
+class TestOutputMux:
+    def test_tap_points(self):
+        mux = OutputMux(row=5, n_stages=4)
+        assert mux.n_inputs == 5
+        assert mux.select(0) == (0, 5)
+        assert mux.select(4) == (4, 5)
+
+    def test_select_bounds(self):
+        with pytest.raises(ValueError):
+            OutputMux(row=0, n_stages=3).select(4)
+
+
+class TestMuxBank:
+    def test_selection_round_trip(self):
+        bank = MuxBank(8, 3)
+        bank.set_selection(2, 1)
+        bank.set_selection(5, 3)
+        assert bank.selection(2) == 1
+        assert bank.selection(0) is None
+        assert bank.selected_points() == {2: (1, 2), 5: (3, 5)}
+
+    def test_clear(self):
+        bank = MuxBank(8, 3)
+        bank.set_selection(1, 2)
+        bank.clear()
+        assert bank.selection(1) is None
+
+    def test_relay_disabled_forces_final_stage(self):
+        bank = MuxBank(8, 3, relay_enabled=False)
+        bank.set_selection(0, 3)  # final stage is fine
+        with pytest.raises(ValueError, match="relay disabled"):
+            bank.set_selection(0, 1)
+
+    def test_gate_cost(self):
+        assert MuxBank(8, 3).gate_cost() == 8 * 4
+        assert MuxBank(8, 3, relay_enabled=False).gate_cost() == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MuxBank(6, 3)
+        with pytest.raises(ValueError):
+            MuxBank(8, 0)
+        bank = MuxBank(8, 3)
+        with pytest.raises(ValueError):
+            bank.set_selection(8, 1)
+        with pytest.raises(ValueError):
+            bank.set_selection(0, 4)

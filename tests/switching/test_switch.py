@@ -1,0 +1,71 @@
+"""Tests for switch-module semantics."""
+
+import pytest
+
+from repro.switching.switch import (
+    COMBINE_BROADCAST,
+    CROSS,
+    IDLE,
+    STRAIGHT,
+    Signal,
+    SwitchSetting,
+)
+
+
+def sig(conf, *members):
+    return Signal(conf, frozenset(members))
+
+
+class TestSignal:
+    def test_combine_unions_members(self):
+        assert sig(1, 1, 2).combine(sig(1, 3)).members == frozenset({1, 2, 3})
+
+    def test_combine_rejects_cross_conference(self):
+        with pytest.raises(ValueError, match="conferences"):
+            sig(1, 1).combine(sig(2, 2))
+
+    def test_repr_is_stable(self):
+        assert "conf=3" in repr(sig(3, 9, 1))
+
+
+class TestSwitchSetting:
+    def test_straight(self):
+        o0, o1 = STRAIGHT.apply(sig(0, 1), sig(0, 2))
+        assert o0.members == frozenset({1}) and o1.members == frozenset({2})
+
+    def test_cross(self):
+        o0, o1 = CROSS.apply(sig(0, 1), sig(0, 2))
+        assert o0.members == frozenset({2}) and o1.members == frozenset({1})
+
+    def test_combine_broadcast(self):
+        o0, o1 = COMBINE_BROADCAST.apply(sig(0, 1), sig(0, 2))
+        assert o0.members == o1.members == frozenset({1, 2})
+
+    def test_idle(self):
+        assert IDLE.apply(sig(0, 1), None) == (None, None)
+        assert IDLE.is_idle
+        assert not STRAIGHT.is_idle
+
+    def test_partial_fanin(self):
+        setting = SwitchSetting(out0=frozenset({0, 1}), out1=frozenset())
+        o0, o1 = setting.apply(sig(0, 4), sig(0, 9))
+        assert o0.members == frozenset({4, 9})
+        assert o1 is None
+
+    def test_silent_selected_rail_raises(self):
+        with pytest.raises(ValueError, match="silent"):
+            STRAIGHT.apply(sig(0, 1), None)
+
+    def test_invalid_rails_rejected(self):
+        with pytest.raises(ValueError):
+            SwitchSetting(out0=frozenset({2}))
+
+    def test_io_views(self):
+        setting = SwitchSetting.for_io(frozenset({1}), frozenset({0, 1}))
+        assert setting.inputs_used == frozenset({1})
+        assert setting.outputs_used == frozenset({0, 1})
+        o0, o1 = setting.apply(None, sig(2, 7))
+        assert o0.members == o1.members == frozenset({7})
+
+    def test_for_io_empty_outputs(self):
+        assert SwitchSetting.for_io(frozenset({0}), frozenset()).is_idle

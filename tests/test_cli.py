@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["show", "--topology", "torus"])
+
+
+class TestCommands:
+    def test_show(self, capsys):
+        assert main(["show", "--topology", "omega", "--ports", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "omega" in out
+
+    def test_route_reports_conflicts(self, capsys):
+        code = main([
+            "route", "--topology", "indirect-binary-cube", "--ports", "8",
+            "--conference", "0,3", "--conference", "1,2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "max multiplicity 2" in out
+        assert "delivery: correct" in out
+
+    def test_route_without_relay(self, capsys):
+        code = main([
+            "route", "--ports", "8", "--no-relay",
+            "--conference", "0,1",
+        ])
+        assert code == 0
+        assert "delivery: correct" in capsys.readouterr().out
+
+    def test_worstcase(self, capsys):
+        assert main(["worstcase", "--ports", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "omega (measured)" in out
+        assert "adversarial witness" in out
+
+    def test_cost(self, capsys):
+        assert main(["cost", "--ports", "16,64"]) == 0
+        out = capsys.readouterr().out
+        assert "crossbar" in out
+        assert "yang2001" in out
+
+    def test_blocking(self, capsys):
+        code = main([
+            "blocking", "--topology", "omega", "--ports", "16",
+            "--dilations", "1,2", "--duration", "50", "--seed", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dilation" in out
+
+    def test_schedule(self, capsys):
+        assert main(["schedule", "--ports", "16", "--load", "0.9", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "TDM schedule" in out
+        assert "required dilation" in out
+
+    def test_faults(self, capsys):
+        code = main([
+            "faults", "--topology", "benes-cube", "--ports", "16",
+            "--count", "3", "--seed", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "survivability" in out
+        assert "dead links" in out

@@ -1,0 +1,99 @@
+"""Tests for the topology registry and classic structural facts."""
+
+import pytest
+
+from repro.topology.builders import (
+    BANYAN_TOPOLOGIES,
+    PAPER_TOPOLOGIES,
+    TOPOLOGY_BUILDERS,
+    baseline,
+    benes_cube,
+    build,
+    extra_stage_cube,
+    flip,
+    indirect_binary_cube,
+    omega,
+    reverse_baseline,
+)
+from repro.topology.properties import (
+    has_full_access,
+    is_banyan,
+    is_buddy,
+    stage_pairing_bits,
+)
+
+SIZES = [2, 4, 8, 16, 32]
+
+
+class TestRegistry:
+    def test_paper_topologies_are_registered(self):
+        for name in PAPER_TOPOLOGIES:
+            assert name in TOPOLOGY_BUILDERS
+
+    def test_build_by_name(self):
+        net = build("omega", 8)
+        assert net.name == "omega"
+
+    def test_unknown_name_lists_options(self):
+        with pytest.raises(KeyError, match="baseline"):
+            build("hypercube", 8)
+
+    @pytest.mark.parametrize("name", sorted(BANYAN_TOPOLOGIES))
+    @pytest.mark.parametrize("size", SIZES)
+    def test_banyan_builders_have_log_stages(self, name, size):
+        net = build(name, size)
+        assert net.n_stages == size.bit_length() - 1
+        assert net.n_ports == size
+
+    @pytest.mark.parametrize("size", [4, 8, 16])
+    def test_extra_stage_counts(self, size):
+        n = size.bit_length() - 1
+        assert benes_cube(size).n_stages == 2 * n - 1
+        assert extra_stage_cube(size).n_stages == n + 1
+
+    @pytest.mark.parametrize("builder", [omega, baseline, indirect_binary_cube, flip, reverse_baseline])
+    def test_builders_reject_bad_sizes(self, builder):
+        with pytest.raises(ValueError):
+            builder(6)
+
+
+class TestStructuralProperties:
+    @pytest.mark.parametrize("name", sorted(BANYAN_TOPOLOGIES))
+    @pytest.mark.parametrize("size", [4, 8, 16])
+    def test_banyan_full_access_buddy(self, name, size):
+        net = build(name, size)
+        assert is_banyan(net), f"{name} must have unique paths"
+        assert has_full_access(net), f"{name} must have full access"
+        assert is_buddy(net), f"{name} must have the buddy property"
+
+    def test_cube_pairs_bits_in_order(self):
+        assert stage_pairing_bits(indirect_binary_cube(32)) == [0, 1, 2, 3, 4]
+
+    def test_omega_stages_move_rows(self):
+        assert stage_pairing_bits(omega(16)) == [None] * 4
+
+    def test_baseline_last_stage_pairs_bit_zero(self):
+        bits = stage_pairing_bits(baseline(16))
+        assert bits[-1] == 0
+
+    def test_flip_is_reverse_omega(self):
+        f = flip(16)
+        assert f.name == "flip"
+        assert f.n_stages == 4
+        # Flip's straight permutation is the identity like omega's.
+        sp = f.straight_permutation()
+        assert all(sp(x) == x for x in range(16))
+
+    @pytest.mark.parametrize("builder", [benes_cube, extra_stage_cube])
+    def test_extra_stage_networks_have_full_access_but_multiple_paths(self, builder):
+        net = builder(8)
+        assert has_full_access(net)
+        assert not is_banyan(net)
+        sp = net.straight_permutation()
+        assert all(sp(x) == x for x in range(8))
+
+    def test_minimum_network_is_one_switch(self):
+        net = build("omega", 2)
+        assert net.n_stages == 1
+        assert net.n_switches == 1
+        assert has_full_access(net)

@@ -1,0 +1,128 @@
+"""Tests for layered-graph algorithms."""
+
+import networkx as nx
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.topology.builders import BANYAN_TOPOLOGIES, build
+from repro.topology.graph import (
+    all_paths,
+    backward_cone,
+    count_paths,
+    forward_cone,
+    to_networkx,
+    unique_path,
+)
+
+TOPOLOGIES = sorted(BANYAN_TOPOLOGIES)
+
+
+class TestCones:
+    @pytest.mark.parametrize("name", TOPOLOGIES)
+    def test_forward_cone_levels_and_growth(self, name):
+        net = build(name, 16)
+        cones = forward_cone(net, (0, 3))
+        assert len(cones) == net.n_levels
+        assert cones[0] == frozenset({3})
+        for level in range(1, net.n_levels):
+            assert len(cones[level]) == min(2 ** level, 16)
+
+    @pytest.mark.parametrize("name", TOPOLOGIES)
+    def test_backward_cone_mirrors_forward(self, name):
+        net = build(name, 16)
+        for src in (0, 7):
+            for dst in (2, 13):
+                fwd = forward_cone(net, (0, src))
+                bwd = backward_cone(net, (net.n_stages, dst))
+                # Membership duality: src in bwd[0] iff dst in fwd[-1].
+                assert (src in bwd[0]) == (dst in fwd[-1])
+
+    def test_cone_from_interior_point(self):
+        net = build("omega", 16)
+        cones = forward_cone(net, (2, 5))
+        assert len(cones) == net.n_stages - 2 + 1
+        assert cones[0] == frozenset({5})
+
+
+class TestPaths:
+    @pytest.mark.parametrize("name", TOPOLOGIES)
+    def test_every_pair_has_unique_path(self, name):
+        net = build(name, 8)
+        for s in range(8):
+            for d in range(8):
+                assert count_paths(net, s, d) == 1
+                path = unique_path(net, s, d)
+                assert path[0] == (0, s)
+                assert path[-1] == (net.n_stages, d)
+                assert len(path) == net.n_levels
+
+    def test_path_steps_are_edges(self):
+        net = build("baseline", 16)
+        path = unique_path(net, 3, 12)
+        for (l1, r1), (l2, r2) in zip(path, path[1:]):
+            assert l2 == l1 + 1
+            assert (l2, r2) in net.successors(l1, r1)
+
+    def test_all_paths_matches_count(self):
+        net = build("omega", 8)
+        for s in (0, 5):
+            for d in (1, 6):
+                assert len(all_paths(net, s, d)) == count_paths(net, s, d)
+
+    @given(st.sampled_from(TOPOLOGIES), st.integers(0, 15), st.integers(0, 15))
+    def test_unique_path_hypothesis(self, name, s, d):
+        net = build(name, 16)
+        path = unique_path(net, s, d)
+        assert path[0] == (0, s) and path[-1] == (net.n_stages, d)
+
+
+class TestMultiPathNetworks:
+    def test_benes_has_multiple_paths(self):
+        from repro.topology.builders import benes_cube
+
+        net = benes_cube(8)
+        counts = {count_paths(net, 0, d) for d in range(8)}
+        assert max(counts) > 1  # redundancy the banyan networks lack
+        with pytest.raises(ValueError, match="unique path"):
+            # pick a pair with several paths
+            dest = next(d for d in range(8) if count_paths(net, 0, d) > 1)
+            unique_path(net, 0, dest)
+
+    def test_all_paths_enumerates_benes_redundancy(self):
+        from repro.topology.builders import benes_cube
+
+        net = benes_cube(8)
+        for d in (0, 3, 7):
+            assert len(all_paths(net, 0, d)) == count_paths(net, 0, d)
+
+
+class TestNetworkxExport:
+    def test_export_shape(self):
+        net = build("omega", 8)
+        g = to_networkx(net)
+        assert g.number_of_nodes() == net.n_levels * 8
+        assert g.number_of_edges() == net.n_stages * 8 * 2
+
+    def test_export_is_dag_with_level_layers(self):
+        net = build("indirect-binary-cube", 8)
+        g = to_networkx(net)
+        assert nx.is_directed_acyclic_graph(g)
+        for (l1, _), (l2, _) in g.edges():
+            assert l2 == l1 + 1
+
+    def test_export_edge_attributes(self):
+        net = build("baseline", 8)
+        g = to_networkx(net)
+        for _, _, data in g.edges(data=True):
+            assert 0 <= data["stage"] < net.n_stages
+            assert 0 <= data["switch"] < 4
+
+    def test_paths_agree_with_networkx(self):
+        net = build("omega", 8)
+        g = to_networkx(net)
+        for s, d in [(0, 0), (3, 6), (7, 1)]:
+            nx_count = sum(
+                1 for _ in nx.all_simple_paths(g, (0, s), (net.n_stages, d))
+            )
+            assert nx_count == count_paths(net, s, d)

@@ -1,0 +1,161 @@
+"""Tests for the generic multistage network model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.topology.builders import TOPOLOGY_BUILDERS, build
+from repro.topology.network import MultistageNetwork, Stage
+from repro.topology.permutations import identity, perfect_shuffle
+from repro.util.bits import bit_reverse
+
+TOPOLOGIES = sorted(TOPOLOGY_BUILDERS)
+topology_and_size = st.tuples(st.sampled_from(TOPOLOGIES), st.sampled_from([4, 8, 16, 32]))
+
+
+class TestConstruction:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            MultistageNetwork(6, [Stage(identity(6), identity(6))])
+
+    def test_requires_stages(self):
+        with pytest.raises(ValueError):
+            MultistageNetwork(8, [])
+
+    def test_stage_size_must_match(self):
+        with pytest.raises(ValueError):
+            MultistageNetwork(8, [Stage(identity(4), identity(4))])
+
+    def test_stage_wiring_sizes_must_match(self):
+        with pytest.raises(ValueError):
+            Stage(identity(4), identity(8))
+
+    def test_shape_properties(self):
+        net = build("omega", 16)
+        assert net.n_ports == 16
+        assert net.n_stages == 4
+        assert net.n_levels == 5
+        assert net.n_switches == 4 * 8
+        assert net.n_links == 4 * 16
+        assert "omega" in repr(net)
+
+
+class TestStageNavigation:
+    @pytest.mark.parametrize("name", TOPOLOGIES)
+    def test_successor_predecessor_duality(self, name):
+        net = build(name, 16)
+        for level in range(net.n_stages):
+            for row in range(16):
+                for nxt in net.successors(level, row):
+                    assert (level, row) in net.predecessors(*nxt)
+
+    @pytest.mark.parametrize("name", TOPOLOGIES)
+    def test_successor_table_matches_scalar(self, name):
+        net = build(name, 16)
+        tab = net.successor_table
+        for level in range(net.n_stages):
+            for row in range(16):
+                succ = {p[1] for p in net.successors(level, row)}
+                assert succ == {int(tab[level, row, 0]), int(tab[level, row, 1])}
+
+    def test_tables_are_readonly(self):
+        net = build("omega", 8)
+        with pytest.raises(ValueError):
+            net.successor_table[0, 0, 0] = 5
+        with pytest.raises(ValueError):
+            net.predecessor_table[0, 0, 0] = 5
+
+    def test_navigation_bounds(self):
+        net = build("omega", 8)
+        with pytest.raises(ValueError):
+            net.successors(3, 0)  # level 3 is the output column
+        with pytest.raises(ValueError):
+            net.predecessors(0, 0)
+        with pytest.raises(ValueError):
+            net.successors(0, 8)
+
+    def test_switch_partners_are_symmetric(self):
+        for name in TOPOLOGIES:
+            net = build(name, 16)
+            for stage in net.stages:
+                for row in range(16):
+                    partner = stage.partner_row(row)
+                    assert partner != row
+                    assert stage.partner_row(partner) == row
+                    assert stage.switch_of_row(partner) == stage.switch_of_row(row)
+
+    def test_switch_io_consistent_with_successors(self):
+        net = build("baseline", 16)
+        for s, stage in enumerate(net.stages):
+            for sw in range(8):
+                (in_a, in_b), (out_a, out_b) = stage.switch_io(sw)
+                assert set(stage.successors(in_a)) == {out_a, out_b}
+                assert set(stage.successors(in_b)) == {out_a, out_b}
+
+    def test_switch_io_bounds(self):
+        net = build("baseline", 8)
+        with pytest.raises(ValueError):
+            net.stages[0].switch_io(4)
+
+
+class TestStraightPermutation:
+    def test_omega_straight_is_identity(self):
+        sp = build("omega", 32).straight_permutation()
+        assert all(sp(x) == x for x in range(32))
+
+    def test_cube_straight_is_identity(self):
+        sp = build("indirect-binary-cube", 32).straight_permutation()
+        assert all(sp(x) == x for x in range(32))
+
+    def test_baseline_straight_is_bit_reversal(self):
+        sp = build("baseline", 32).straight_permutation()
+        assert all(sp(x) == bit_reverse(x, 5) for x in range(32))
+
+
+class TestReachability:
+    @given(topology_and_size, st.data())
+    def test_forward_cone_doubles_until_saturation(self, ts, data):
+        name, size = ts
+        net = build(name, size)
+        row = data.draw(st.integers(0, size - 1))
+        frontier = {row}
+        for level in range(net.n_stages):
+            reached = net.reachable_rows(0, row, level)
+            assert len(reached) == min(1 << level, size)
+        assert net.reachable_rows(0, row, net.n_stages) == frozenset(range(size))
+
+    @given(topology_and_size, st.data())
+    def test_reach_and_coreach_agree(self, ts, data):
+        name, size = ts
+        net = build(name, size)
+        src = data.draw(st.integers(0, size - 1))
+        dst = data.draw(st.integers(0, size - 1))
+        level = data.draw(st.integers(0, net.n_stages))
+        fwd = net.reachable_rows(0, src, level)
+        back = net.co_reachable_rows(net.n_stages, dst, level)
+        # src reaches dst through level `level` iff the cones intersect.
+        assert bool(fwd & back) == (dst in net.reachable_rows(0, src, net.n_stages))
+
+    def test_backward_reach_rejected(self):
+        net = build("omega", 8)
+        with pytest.raises(ValueError):
+            net.reachable_rows(2, 0, 1)
+
+
+class TestReversedNetwork:
+    @pytest.mark.parametrize("name", ["omega", "baseline", "indirect-binary-cube"])
+    def test_double_reverse_restores_behaviour(self, name):
+        net = build(name, 16)
+        rev2 = net.reversed_network().reversed_network()
+        assert np.array_equal(net.successor_table, rev2.successor_table)
+
+    def test_reverse_swaps_cones(self):
+        net = build("omega", 16)
+        rev = net.reversed_network()
+        for row in (0, 5, 11):
+            fwd = net.reachable_rows(0, row, net.n_stages)
+            assert rev.co_reachable_rows(net.n_stages, row, 0) == fwd
+
+    def test_reverse_names(self):
+        assert build("omega", 8).reversed_network().name == "reverse-omega"

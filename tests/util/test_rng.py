@@ -1,0 +1,37 @@
+"""Tests for RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(123).integers(0, 1_000_000, size=8)
+        b = ensure_rng(123).integers(0, 1_000_000, size=8)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_children_are_independent_and_deterministic(self):
+        kids_a = spawn_rngs(7, 3)
+        kids_b = spawn_rngs(7, 3)
+        for ka, kb in zip(kids_a, kids_b):
+            assert np.array_equal(ka.integers(0, 1 << 30, 4), kb.integers(0, 1 << 30, 4))
+        draws = [tuple(k.integers(0, 1 << 30, 4)) for k in spawn_rngs(7, 3)]
+        assert len(set(draws)) == 3  # streams differ from each other
+
+    def test_count_zero(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)

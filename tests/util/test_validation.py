@@ -1,0 +1,64 @@
+"""Tests for the argument validation helpers."""
+
+import pytest
+
+from repro.util import validation as v
+
+
+class TestNetworkSize:
+    @pytest.mark.parametrize("n,expected", [(2, 1), (8, 3), (1024, 10)])
+    def test_valid_sizes(self, n, expected):
+        assert v.check_network_size(n) == expected
+
+    @pytest.mark.parametrize("n", [0, 1, 3, 6, -8])
+    def test_invalid_sizes(self, n):
+        with pytest.raises(ValueError):
+            v.check_network_size(n)
+
+    @pytest.mark.parametrize("n", [2.0, "8", True])
+    def test_wrong_types(self, n):
+        with pytest.raises(TypeError):
+            v.check_network_size(n)
+
+
+class TestPorts:
+    def test_check_port_passes(self):
+        assert v.check_port(3, 8) == 3
+
+    def test_check_port_out_of_range(self):
+        with pytest.raises(ValueError):
+            v.check_port(8, 8)
+        with pytest.raises(ValueError):
+            v.check_port(-1, 8)
+
+    def test_check_port_type(self):
+        with pytest.raises(TypeError):
+            v.check_port(True, 8)
+
+    def test_check_ports_sorts_and_validates(self):
+        assert v.check_ports([5, 1, 3], 8) == (1, 3, 5)
+
+    def test_check_ports_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            v.check_ports([1, 1], 8)
+
+
+class TestStageAndScalars:
+    def test_stage_bounds(self):
+        assert v.check_stage(0, 3) == 0
+        assert v.check_stage(3, 3, inclusive=True) == 3
+        with pytest.raises(ValueError):
+            v.check_stage(3, 3)
+        with pytest.raises(ValueError):
+            v.check_stage(-1, 3)
+
+    def test_positive(self):
+        assert v.check_positive(0.5, "x") == 0.5
+        with pytest.raises(ValueError):
+            v.check_positive(0, "x")
+
+    def test_probability(self):
+        assert v.check_probability(0.0, "p") == 0.0
+        assert v.check_probability(1.0, "p") == 1.0
+        with pytest.raises(ValueError):
+            v.check_probability(1.5, "p")

@@ -1,0 +1,78 @@
+"""Tests for the exact enumeration machinery."""
+
+import pytest
+
+from repro.core.conference import ConferenceSet
+from repro.workloads.partitions import (
+    conference_sets,
+    count_partial_partitions,
+    pair_families,
+    partial_partitions,
+)
+
+
+class TestPartialPartitions:
+    def test_small_case_by_hand(self):
+        fams = list(partial_partitions(range(3)))
+        as_sets = {tuple(sorted(map(tuple, f))) for f in fams}
+        # On 3 items with blocks >= 2: empty family, three pairs, one triple.
+        assert as_sets == {
+            (),
+            ((0, 1),),
+            ((0, 2),),
+            ((1, 2),),
+            ((0, 1, 2),),
+        }
+
+    def test_no_duplicates_and_count_matches_formula(self):
+        for n in (3, 4, 5, 6):
+            fams = [tuple(sorted(map(tuple, f))) for f in partial_partitions(range(n))]
+            assert len(fams) == len(set(fams))
+            assert len(fams) == count_partial_partitions(n)
+
+    def test_blocks_are_disjoint(self):
+        for fam in partial_partitions(range(6)):
+            flat = [x for block in fam for x in block]
+            assert len(flat) == len(set(flat))
+
+    def test_min_block_respected(self):
+        for fam in partial_partitions(range(5), min_block=3):
+            assert all(len(b) >= 3 for b in fam)
+
+    def test_max_blocks(self):
+        assert all(len(f) <= 1 for f in partial_partitions(range(5), max_blocks=1))
+
+    def test_min_block_validation(self):
+        with pytest.raises(ValueError):
+            list(partial_partitions(range(3), min_block=0))
+
+    def test_known_count_n8(self):
+        # Matches the Bell-number identity for blocks >= 2 families.
+        assert count_partial_partitions(8) == 4140
+
+
+class TestConferenceSets:
+    def test_yields_valid_sets(self):
+        sets = list(conference_sets(4))
+        assert all(isinstance(cs, ConferenceSet) for cs in sets)
+        # 15 families on 4 items minus the empty family (min_conferences=1).
+        assert len(sets) == 14
+
+    def test_min_conferences_filter(self):
+        assert all(len(cs) >= 2 for cs in conference_sets(4, min_conferences=2))
+
+
+class TestPairFamilies:
+    def test_enumerates_partial_matchings(self):
+        fams = {tuple(sorted(f)) for f in pair_families(range(4))}
+        # On 4 ports: empty, 6 single pairs, 3 perfect matchings.
+        assert len(fams) == 10
+
+    def test_no_duplicates(self):
+        fams = [tuple(sorted(f)) for f in pair_families(range(6))]
+        assert len(fams) == len(set(fams))
+
+    def test_pairs_disjoint(self):
+        for fam in pair_families(range(6)):
+            flat = [x for pair in fam for x in pair]
+            assert len(flat) == len(set(flat))
