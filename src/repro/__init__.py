@@ -38,6 +38,7 @@ from repro.core import (
     route_conference,
 )
 from repro.core import GroupConnection, route_group
+from repro.core import RetryPolicy, SelfHealingController
 from repro.switching import CapacityExceeded, DeliveryReport, Fabric
 from repro.topology import (
     PAPER_TOPOLOGIES,
@@ -62,9 +63,11 @@ __all__ = [
     "MultistageNetwork",
     "PAPER_TOPOLOGIES",
     "RealizationResult",
+    "RetryPolicy",
     "Route",
     "GroupConnection",
     "RoutingPolicy",
+    "SelfHealingController",
     "TOPOLOGY_BUILDERS",
     "TapPolicy",
     "UnroutableError",

@@ -10,7 +10,8 @@ quick interactive inspection of networks and conference routings::
     conference-net cost --ports 16,64,256
     conference-net blocking --topology omega --ports 64 --dilations 1,2,4,8
     conference-net schedule --ports 32 --load 0.8
-    conference-net faults --ports 32 --count 4
+    conference-net faults --ports 32 --count 4 --no-relay
+    conference-net availability --topology extra-stage-cube --ports 32
 """
 
 from __future__ import annotations
@@ -20,7 +21,13 @@ import sys
 from collections.abc import Sequence
 
 from repro.analysis.cost import cost_table
-from repro.analysis.resilience import random_link_faults, survivability
+from repro.analysis.resilience import (
+    availability_over_time,
+    random_link_faults,
+    retry_ablation,
+    survivability,
+)
+from repro.core.healing import RetryPolicy
 from repro.analysis.scheduling import schedule_slots
 from repro.analysis.theory import stage_profile_law
 from repro.analysis.worstcase import (
@@ -95,6 +102,35 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--count", type=int, default=4, help="number of dead links")
     faults.add_argument("--load", type=float, default=0.6)
     faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument(
+        "--relay",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="evaluate only with (--relay) or without (--no-relay) the mux relay; default: both",
+    )
+    faults.add_argument(
+        "--include-injections",
+        action="store_true",
+        help="let level-0 input wires fail too (members cut off entirely)",
+    )
+
+    avail = sub.add_parser(
+        "availability",
+        help="live fault injection: availability over time with self-healing",
+    )
+    avail.add_argument("--topology", default="extra-stage-cube", choices=sorted(TOPOLOGY_BUILDERS))
+    avail.add_argument("--ports", type=int, default=32)
+    avail.add_argument("--duration", type=float, default=1500.0)
+    avail.add_argument("--mttf", type=float, default=1500.0, help="mean time to failure per link")
+    avail.add_argument("--mttr", type=float, default=30.0, help="mean time to repair per link")
+    avail.add_argument("--load", type=float, default=0.6, help="steady population port load")
+    avail.add_argument("--retries", type=int, default=10, help="retry budget (0 disables retries)")
+    avail.add_argument("--seed", type=int, default=0)
+    avail.add_argument(
+        "--traffic",
+        action="store_true",
+        help="also run the stochastic-traffic retry ablation (slower)",
+    )
     return parser
 
 
@@ -175,9 +211,12 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 def _cmd_faults(args: argparse.Namespace) -> int:
     net = build(args.topology, args.ports)
     workload = uniform_partition(args.ports, load=args.load, seed=args.seed)
-    dead = random_link_faults(net, args.count, seed=args.seed)
+    dead = random_link_faults(
+        net, args.count, seed=args.seed, include_injections=args.include_injections
+    )
+    variants = (True, False) if args.relay is None else (args.relay,)
     rows = []
-    for relay in (True, False):
+    for relay in variants:
         rep = survivability(net, list(workload), dead, relay_enabled=relay)
         rows.append(
             {
@@ -192,6 +231,64 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_availability(args: argparse.Namespace) -> int:
+    from repro.sim.faults import FaultProcessConfig
+
+    process = FaultProcessConfig(
+        mean_time_to_failure=args.mttf, mean_time_to_repair=args.mttr
+    )
+    retry = (
+        RetryPolicy(max_retries=args.retries, base_delay=1.0, max_delay=2 * args.mttr)
+        if args.retries > 0
+        else None
+    )
+    rows = availability_over_time(
+        args.topology,
+        args.ports,
+        process=process,
+        duration=args.duration,
+        retry=retry,
+        seed=args.seed,
+        load=args.load,
+    )
+    columns = [
+        "relay", "conferences", "availability", "degraded_fraction",
+        "dropped", "restored", "lost_calls", "tap_move_events", "reroutes",
+        "link_failures", "link_mttr", "conference_mttr",
+    ]
+    print(render_table(
+        rows,
+        columns=columns,
+        title=f"availability over time ({args.topology}, N={args.ports}, "
+              f"MTTF={args.mttf}, MTTR={args.mttr})",
+    ))
+    if args.traffic:
+        rows = retry_ablation(
+            args.topology,
+            args.ports,
+            process=process,
+            retry=retry,
+            duration=args.duration,
+            seed=args.seed,
+        )
+        columns = [
+            "retry", "offered", "admitted", "availability", "lost_calls",
+            "blocked_capacity", "blocked_fault", "blocked_ports",
+            "blocked_retry-exhausted", "retries_succeeded",
+        ]
+        for row in rows:
+            # A reason one arm never hit still deserves a 0, not a blank.
+            for col in columns[1:]:
+                row.setdefault(col, 0)
+        print()
+        print(render_table(
+            rows,
+            columns=columns,
+            title="stochastic traffic: bounded backoff vs immediate loss",
+        ))
+    return 0
+
+
 _COMMANDS = {
     "show": _cmd_show,
     "route": _cmd_route,
@@ -200,6 +297,7 @@ _COMMANDS = {
     "blocking": _cmd_blocking,
     "schedule": _cmd_schedule,
     "faults": _cmd_faults,
+    "availability": _cmd_availability,
 }
 
 

@@ -10,6 +10,7 @@ from repro.core.churn import ChurnResult, apply_churn, join_member, leave_member
 from repro.core.conference import Conference, ConferenceSet
 from repro.core.conflict import ConflictReport, analyze_conflicts, link_loads
 from repro.core.groupcast import GroupConnection, GroupRoute, route_group
+from repro.core.healing import RetryPolicy, SelfHealingController
 from repro.core.network import ConferenceNetwork, RealizationResult
 from repro.core.routing import (
     Route,
@@ -33,8 +34,10 @@ __all__ = [
     "GroupConnection",
     "GroupRoute",
     "RealizationResult",
+    "RetryPolicy",
     "Route",
     "RoutingPolicy",
+    "SelfHealingController",
     "TapPolicy",
     "UnroutableError",
     "analyze_conflicts",

@@ -166,6 +166,11 @@ class AdmissionController:
         """Ids of currently admitted conferences."""
         return tuple(self._routes)
 
+    @property
+    def ports_in_use(self) -> frozenset[int]:
+        """Ports currently claimed by live conferences."""
+        return frozenset(self._ports_in_use)
+
     def link_load(self, link: Point) -> int:
         """Current channel load on one inter-stage link."""
         return self._loads[link]
@@ -173,6 +178,13 @@ class AdmissionController:
     def peak_load(self) -> int:
         """The worst current link load (0 when idle)."""
         return max(self._loads.values(), default=0)
+
+    def route_of(self, conference_id: int) -> Route:
+        """The live route of one admitted conference."""
+        try:
+            return self._routes[conference_id]
+        except KeyError:
+            raise KeyError(f"no live conference with id {conference_id}") from None
 
     def try_join(self, conference: "Conference | Iterable[int]") -> Route:
         """Admit and route a conference, or raise :class:`AdmissionDenied`."""
@@ -185,7 +197,22 @@ class AdmissionController:
         clash = self._ports_in_use.intersection(conference.members)
         if clash:
             raise AdmissionDenied("ports", f"ports {sorted(clash)} already in a conference")
-        route = self._network.route(conference)
+        return self.admit_route(self._network.route(conference))
+
+    def admit_route(self, route: Route) -> Route:
+        """Admit a pre-computed route (e.g. one routed around faults).
+
+        Same checks as :meth:`try_join` — port exclusivity and link
+        capacity — but the caller controls how the route was produced.
+        """
+        conference = route.conference
+        if conference.conference_id in self._routes:
+            raise AdmissionDenied(
+                "ports", f"conference id {conference.conference_id} already live"
+            )
+        clash = self._ports_in_use.intersection(conference.members)
+        if clash:
+            raise AdmissionDenied("ports", f"ports {sorted(clash)} already in a conference")
         cap = self._network.dilation
         for link in route.links:
             if self._loads[link] + 1 > cap:
@@ -196,6 +223,34 @@ class AdmissionController:
         self._routes[conference.conference_id] = route
         self._ports_in_use.update(conference.members)
         return route
+
+    def replace_route(self, conference_id: int, new_route: Route) -> Route:
+        """Atomically swing a live conference onto a new route.
+
+        Capacity is checked only on the links the new route *adds* (the
+        links shared with the old route are already paid for), so a
+        self-healing reroute can never be rejected for resources it
+        already holds.  On :class:`AdmissionDenied` the ledger is
+        untouched and the old route stays live.
+        """
+        old = self.route_of(conference_id)
+        new_ports = set(new_route.conference.members)
+        clash = (self._ports_in_use - old.conference.member_set) & new_ports
+        if clash:
+            raise AdmissionDenied("ports", f"ports {sorted(clash)} already in a conference")
+        cap = self._network.dilation
+        for link in new_route.links - old.links:
+            if self._loads[link] + 1 > cap:
+                raise AdmissionDenied(
+                    "capacity", f"link {link} at load {self._loads[link]}/{cap}"
+                )
+        self._loads.subtract(old.links)
+        self._loads.update(new_route.links)
+        self._loads += Counter()  # drop zero/negative entries
+        self._routes[conference_id] = new_route
+        self._ports_in_use.difference_update(old.conference.members)
+        self._ports_in_use.update(new_ports)
+        return new_route
 
     def leave(self, conference_id: int) -> None:
         """Tear down a live conference, releasing its links."""

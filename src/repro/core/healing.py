@@ -1,0 +1,431 @@
+"""Self-healing admission control for live conferences under faults.
+
+The static resilience analysis answers "could this conference be routed
+around the fault?"; this module answers the operational question: what
+happens to the conferences that are *already up* when a link dies, and
+to the calls that arrive while the network is degraded.
+
+:class:`SelfHealingController` layers three mechanisms on top of the
+plain :class:`~repro.core.admission.AdmissionController`:
+
+1. **A graceful-degradation ladder** per fault transition.  For every
+   live conference whose route uses the dead point, in order:
+
+   * *tap move* — reroute under the new fault set; when the surviving
+     route needs **no links beyond those already held** the fix is pure
+     output-mux re-selection (the relay's freedom, the paper's
+     redundancy mechanism) and can never be blocked;
+   * *reroute* — the surviving route claims new links; the swap is
+     atomic and capacity-checked only on the added links, accounted
+     with the same link-diff the churn machinery uses;
+   * *drop* — no surviving route (or no capacity for one): the call is
+     torn down and, when a retry policy is configured, queued for
+     re-admission.
+
+2. **Repair re-optimization.**  Every repair transition revisits the
+   conferences currently running on detour routes and walks them back
+   toward their fault-free routes (tap moves preferred), so a network
+   with zero live faults converges to exactly the state a healthy one
+   would have built — a property the test suite checks.
+
+3. **Bounded exponential-backoff retries.**  Blocked arrivals and
+   dropped calls are not lost immediately: they re-attempt admission
+   after ``base_delay * backoff**attempt`` (plus deterministic seeded
+   jitter), up to ``max_retries`` attempts, then count as
+   ``"retry-exhausted"`` / lost.  All delays come from one seeded RNG
+   stream, preserving the engine's exact-reproducibility contract.
+
+The controller is deliberately loop-agnostic: it only ever calls
+``loop.schedule`` / reads ``loop.now``, so any
+:class:`~repro.sim.engine.EventLoop`-shaped object works.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.admission import AdmissionController, AdmissionDenied
+from repro.core.conference import Conference, ConferenceSet
+from repro.core.network import ConferenceNetwork
+from repro.core.routing import Route, UnroutableError
+from repro.topology.network import Point
+from repro.util.rng import ensure_rng
+from repro.util.validation import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    import numpy as np
+
+    from repro.sim.engine import EventLoop
+    from repro.sim.faults import FaultTransition
+    from repro.sim.metrics import AvailabilityStats
+
+__all__ = ["RetryPolicy", "SelfHealingController"]
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for blocked or disrupted calls.
+
+    Attempt ``k`` (0-based) waits ``min(base_delay * backoff**k,
+    max_delay)``, stretched by up to ``jitter`` (a fraction, drawn from
+    the controller's seeded RNG so runs stay reproducible).  After
+    ``max_retries`` failed attempts the call is abandoned.
+    """
+
+    max_retries: int = 5
+    base_delay: float = 0.5
+    backoff: float = 2.0
+    max_delay: float = 30.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 1:
+            raise ValueError(f"max_retries must be >= 1, got {self.max_retries}")
+        check_positive(self.base_delay, "base_delay")
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {self.backoff}")
+        check_positive(self.max_delay, "max_delay")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def delay(self, attempt: int, rng: "np.random.Generator | None" = None) -> float:
+        """The wait before retry number ``attempt`` (0-based)."""
+        base = min(self.base_delay * self.backoff**attempt, self.max_delay)
+        if self.jitter and rng is not None:
+            base *= 1.0 + self.jitter * float(rng.random())
+        return base
+
+
+DropListener = Callable[["EventLoop", Conference], None]
+RestoreListener = Callable[["EventLoop", Route], None]
+LostListener = Callable[["EventLoop", Conference, str], None]
+
+
+class SelfHealingController:
+    """Fault-reactive admission control with retries.
+
+    Mirrors the :class:`~repro.core.admission.AdmissionController`
+    interface (``try_join`` / ``leave`` / ledger accessors) but routes
+    every join around the *current* fault set, reacts to fault
+    transitions with the degradation ladder, and runs the retry queue.
+
+    ``on_drop`` / ``on_restore`` / ``on_lost`` are optional hooks for a
+    traffic source to keep its own bookkeeping (port pools, departure
+    schedules, blocked counters) in sync with healing decisions.
+    """
+
+    def __init__(
+        self,
+        network: ConferenceNetwork,
+        retry: "RetryPolicy | None" = None,
+        stats: "AvailabilityStats | None" = None,
+        seed: "int | np.random.Generator | None" = None,
+    ):
+        if stats is None:
+            # Imported lazily: repro.sim pulls this module in via the
+            # scenarios, so a top-level import would be circular.
+            from repro.sim.metrics import AvailabilityStats
+
+            stats = AvailabilityStats()
+        self._network = network
+        self._inner = AdmissionController(network)
+        self._retry = retry
+        self._stats = stats
+        self._rng = ensure_rng(seed)
+        self._faults: set[Point] = set()
+        self._healthy: dict[int, Route] = {}  # cid -> fault-free reference route
+        self._degraded: set[int] = set()
+        self._down: dict[int, Conference] = {}  # dropped, awaiting retry
+        self.on_drop: "DropListener | None" = None
+        self.on_restore: "RestoreListener | None" = None
+        self.on_lost: "LostListener | None" = None
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def network(self) -> ConferenceNetwork:
+        """The conference network being managed."""
+        return self._network
+
+    @property
+    def admission(self) -> AdmissionController:
+        """The underlying ledger (read its loads in tests/experiments)."""
+        return self._inner
+
+    @property
+    def stats(self) -> "AvailabilityStats":
+        """Availability accounting (shared with the traffic source)."""
+        return self._stats
+
+    @property
+    def retry_policy(self) -> "RetryPolicy | None":
+        """The retry policy, or ``None`` when blocked calls are lost."""
+        return self._retry
+
+    @property
+    def current_faults(self) -> frozenset[Point]:
+        """The dead points the controller currently routes around."""
+        return frozenset(self._faults)
+
+    @property
+    def live_conferences(self) -> tuple[int, ...]:
+        """Ids of currently admitted conferences."""
+        return self._inner.live_conferences
+
+    @property
+    def degraded_conferences(self) -> frozenset[int]:
+        """Ids currently running on fault-detour routes."""
+        return frozenset(self._degraded)
+
+    @property
+    def down_conferences(self) -> frozenset[int]:
+        """Ids dropped by a fault and still awaiting a retry."""
+        return frozenset(self._down)
+
+    def route_of(self, conference_id: int) -> Route:
+        """The live route of one admitted conference."""
+        return self._inner.route_of(conference_id)
+
+    def link_load(self, link: Point) -> int:
+        """Current channel load on one inter-stage link."""
+        return self._inner.link_load(link)
+
+    def peak_load(self) -> int:
+        """The worst current link load (0 when idle)."""
+        return self._inner.peak_load()
+
+    def snapshot(self) -> ConferenceSet:
+        """The live conferences as a validated set."""
+        return self._inner.snapshot()
+
+    # -- admission under faults --------------------------------------------
+
+    def try_join(self, conference: "Conference | list[int] | tuple[int, ...]") -> Route:
+        """Admit a conference routed around the current fault set.
+
+        Raises :class:`AdmissionDenied` with reason ``"ports"``,
+        ``"capacity"``, or — new here — ``"fault"`` when no surviving
+        route exists at all.
+        """
+        if not isinstance(conference, Conference):
+            conference = Conference.of(conference)
+        clash = self._inner.ports_in_use & conference.member_set
+        if clash:
+            raise AdmissionDenied("ports", f"ports {sorted(clash)} already in a conference")
+        faults = frozenset(self._faults)
+        try:
+            route = self._network.route(conference, faults=faults or None)
+        except UnroutableError as exc:
+            raise AdmissionDenied("fault", str(exc)) from exc
+        self._inner.admit_route(route)
+        cid = conference.conference_id
+        if faults:
+            self._healthy[cid] = self._network.route(conference)
+            if route != self._healthy[cid]:
+                self._degraded.add(cid)
+        else:
+            self._healthy[cid] = route
+        return route
+
+    def leave(self, conference_id: int, now: "float | None" = None) -> None:
+        """Tear down a live conference (normal call completion)."""
+        self._inner.leave(conference_id)
+        self._healthy.pop(conference_id, None)
+        self._degraded.discard(conference_id)
+        if now is not None:
+            self._observe(now)
+
+    # -- retrying admission (arrivals) -------------------------------------
+
+    def submit(
+        self,
+        loop: "EventLoop",
+        conference: Conference,
+        on_admitted: "Callable[[EventLoop, Route], None] | None" = None,
+        on_lost: "LostListener | None" = None,
+    ) -> "Route | None":
+        """Admit now or enqueue retries; the terminal outcome arrives via
+        the callbacks.  Returns the route only on immediate admission."""
+        return self._attempt_submit(loop, conference, on_admitted, on_lost, attempt=0)
+
+    def _attempt_submit(self, loop, conference, on_admitted, on_lost, attempt):
+        try:
+            route = self.try_join(conference)
+        except AdmissionDenied as denial:
+            if self._retry is None:
+                if on_lost:
+                    on_lost(loop, conference, denial.reason)
+                return None
+            if attempt >= self._retry.max_retries:
+                self._stats.retries_exhausted += 1
+                if on_lost:
+                    on_lost(loop, conference, "retry-exhausted")
+                return None
+            self._schedule_retry(
+                loop,
+                attempt,
+                lambda lp: self._attempt_submit(lp, conference, on_admitted, on_lost, attempt + 1),
+            )
+            return None
+        if attempt > 0:
+            self._stats.retries_succeeded += 1
+        if on_admitted:
+            on_admitted(loop, route)
+        self._observe(loop.now)
+        return route
+
+    def _schedule_retry(self, loop, attempt: int, action) -> None:
+        self._stats.retries_scheduled += 1
+        loop.schedule(self._retry.delay(attempt, self._rng), action)
+
+    # -- fault transitions -------------------------------------------------
+
+    def attach(self, injector) -> None:
+        """Subscribe to a :class:`~repro.sim.faults.FaultInjector`."""
+        injector.subscribe(self.handle_transition)
+
+    def handle_transition(self, loop: "EventLoop", transition: "FaultTransition") -> None:
+        """Injector callback: dispatch one failure/repair transition."""
+        if transition.failed:
+            self.apply_fault(loop, transition.point)
+        else:
+            self.apply_repair(loop, transition.point)
+
+    def apply_fault(self, loop: "EventLoop", point: Point) -> None:
+        """A point died: walk every affected live conference down the
+        degradation ladder (tap move, then reroute, then drop)."""
+        if point in self._faults:
+            return
+        self._faults.add(point)
+        self._stats.record_link_failed(loop.now, point)
+        faults = frozenset(self._faults)
+        for cid in sorted(self._inner.live_conferences):
+            old = self._inner.route_of(cid)
+            if point not in old.points:
+                continue  # signals on this route are untouched
+            self._heal(loop, cid, old, faults)
+        self._observe(loop.now)
+
+    def apply_repair(self, loop: "EventLoop", point: Point) -> None:
+        """A point came back: walk degraded conferences toward their
+        fault-free routes (tap moves preferred, reroutes if capacity
+        allows; a conference that cannot improve stays degraded)."""
+        if point not in self._faults:
+            return
+        self._faults.discard(point)
+        self._stats.record_link_repaired(loop.now, point)
+        faults = frozenset(self._faults)
+        for cid in sorted(self._degraded):
+            cur = self._inner.route_of(cid)
+            try:
+                new = self._network.route(cur.conference, faults=faults or None)
+            except UnroutableError:  # pragma: no cover - repairs only add paths
+                continue
+            if new == cur:
+                continue
+            if not self._swap(cid, cur, new):
+                continue  # no capacity for the better route yet
+            self._update_degraded(cid, new)
+        self._observe(loop.now)
+
+    def _heal(self, loop, cid: int, old: Route, faults: frozenset) -> None:
+        try:
+            new = self._network.route(old.conference, faults=faults)
+        except UnroutableError:
+            self._drop(loop, cid, "fault")
+            return
+        if new != old and not self._swap(cid, old, new):
+            self._drop(loop, cid, "capacity")
+            return
+        self._update_degraded(cid, new)
+
+    def _swap(self, cid: int, old: Route, new: Route) -> bool:
+        """Apply one ladder step; returns False when capacity refuses it."""
+        added = new.links - old.links
+        if not added:
+            # Pure output-mux re-selection (plus possibly releasing
+            # links): the hitless rung, it can never be denied.
+            self._inner.replace_route(cid, new)
+            moved = sum(
+                1 for p in old.conference.members if old.taps[p] != new.taps[p]
+            )
+            self._stats.record_tap_move(moved)
+            return True
+        try:
+            self._inner.replace_route(cid, new)
+        except AdmissionDenied:
+            return False
+        self._stats.record_reroute(len(added) + len(old.links - new.links))
+        return True
+
+    def _update_degraded(self, cid: int, route: Route) -> None:
+        healthy = self._healthy.get(cid)
+        if healthy is None:  # pragma: no cover - defensive
+            healthy = self._healthy[cid] = self._network.route(route.conference)
+        if route == healthy:
+            self._degraded.discard(cid)
+        else:
+            self._degraded.add(cid)
+
+    # -- drops and restores ------------------------------------------------
+
+    def _drop(self, loop, cid: int, cause: str) -> None:
+        route = self._inner.route_of(cid)
+        self._inner.leave(cid)
+        self._healthy.pop(cid, None)
+        self._degraded.discard(cid)
+        self._stats.record_drop(cause)
+        conference = route.conference
+        if self.on_drop:
+            self.on_drop(loop, conference)  # opens the outage window
+        if self._retry is None:
+            self._stats.abandon_outage(cid)
+            if self.on_lost:
+                self.on_lost(loop, conference, cause)
+            return
+        self._down[cid] = conference
+        self._schedule_retry(
+            loop, 0, lambda lp: self._attempt_restore(lp, conference, attempt=1)
+        )
+
+    def _attempt_restore(self, loop, conference: Conference, attempt: int) -> None:
+        cid = conference.conference_id
+        if cid not in self._down:  # pragma: no cover - defensive
+            return
+        try:
+            route = self.try_join(conference)
+        except AdmissionDenied:
+            if attempt >= self._retry.max_retries:
+                del self._down[cid]
+                self._stats.retries_exhausted += 1
+                self._stats.abandon_outage(cid)
+                if self.on_lost:
+                    self.on_lost(loop, conference, "retry-exhausted")
+                self._observe(loop.now)
+                return
+            self._schedule_retry(
+                loop, attempt, lambda lp: self._attempt_restore(lp, conference, attempt + 1)
+            )
+            return
+        del self._down[cid]
+        self._stats.retries_succeeded += 1
+        self._stats.close_outage(cid, loop.now)
+        if self.on_restore:
+            self.on_restore(loop, route)
+        self._observe(loop.now)
+
+    # -- accounting --------------------------------------------------------
+
+    def _observe(self, now: float) -> None:
+        self._stats.observe(
+            now,
+            live=len(self._inner.live_conferences),
+            degraded=len(self._degraded),
+            down=len(self._down),
+        )
+
+    def finalize(self, now: float) -> None:
+        """Close the availability integrals at the simulation horizon."""
+        self._stats.finalize(now)

@@ -141,11 +141,20 @@ class ConferenceNetwork:
 
     # -- routing ----------------------------------------------------------
 
-    def route(self, conference: "Conference | Iterable[int]") -> Route:
-        """Route a single conference (members may be given as bare ports)."""
+    def route(
+        self,
+        conference: "Conference | Iterable[int]",
+        faults: "frozenset | None" = None,
+    ) -> Route:
+        """Route a single conference (members may be given as bare ports).
+
+        ``faults`` is an optional set of dead points ``(level, row)``;
+        routing then uses only surviving paths and taps (see
+        ``repro.core.routing.route_conference``).
+        """
         if not isinstance(conference, Conference):
             conference = Conference.of(conference)
-        return route_conference(self._topology, conference, self._policy)
+        return route_conference(self._topology, conference, self._policy, faults=faults)
 
     def route_set(self, conferences: "ConferenceSet | Iterable[Iterable[int]]") -> tuple[Route, ...]:
         """Route every conference of a disjoint set; order is preserved."""

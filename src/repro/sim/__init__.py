@@ -1,17 +1,39 @@
-"""Discrete-event simulation of dynamic conference traffic."""
+"""Discrete-event simulation of dynamic conference traffic and faults."""
 
 from repro.sim.engine import Event, EventLoop
-from repro.sim.metrics import TrafficStats
-from repro.sim.scenarios import blocking_vs_dilation, placement_comparison, run_traffic
-from repro.sim.traffic import ConferenceTrafficSource, TrafficConfig
+from repro.sim.faults import (
+    FaultInjector,
+    FaultProcessConfig,
+    FaultTransition,
+    fault_universe,
+    generate_fault_timeline,
+)
+from repro.sim.metrics import AvailabilityStats, TrafficStats
+from repro.sim.scenarios import (
+    AvailabilityRun,
+    blocking_vs_dilation,
+    placement_comparison,
+    run_availability,
+    run_traffic,
+)
+from repro.sim.traffic import ConferenceTrafficSource, ResilientTrafficSource, TrafficConfig
 
 __all__ = [
+    "AvailabilityRun",
+    "AvailabilityStats",
     "ConferenceTrafficSource",
     "Event",
     "EventLoop",
+    "FaultInjector",
+    "FaultProcessConfig",
+    "FaultTransition",
+    "ResilientTrafficSource",
     "TrafficConfig",
     "TrafficStats",
     "blocking_vs_dilation",
+    "fault_universe",
+    "generate_fault_timeline",
     "placement_comparison",
+    "run_availability",
     "run_traffic",
 ]

@@ -67,7 +67,10 @@ class EventLoop:
         """Drain events until the horizon, the budget, or an empty heap.
 
         Events scheduled exactly at the horizon still run; later ones
-        stay pending so the loop can be resumed.
+        stay pending so the loop can be resumed.  When a horizon is
+        given, the clock always ends at it (unless the event budget
+        stopped the loop with work still pending) — time-weighted
+        statistics must account for an idle tail after the last event.
         """
         if self._running:
             raise RuntimeError("event loop is already running (re-entrant run())")
@@ -77,7 +80,6 @@ class EventLoop:
                 if max_events is not None and self._processed >= max_events:
                     break
                 if until is not None and self._heap[0].time > until:
-                    self._now = until
                     break
                 ev = heapq.heappop(self._heap)
                 self._now = ev.time
@@ -85,3 +87,7 @@ class EventLoop:
                 ev.action(self)
         finally:
             self._running = False
+        if until is not None and until > self._now and not (
+            max_events is not None and self._processed >= max_events and self._heap
+        ):
+            self._now = until

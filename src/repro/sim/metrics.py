@@ -5,7 +5,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
-__all__ = ["TrafficStats"]
+__all__ = ["TrafficStats", "AvailabilityStats"]
 
 
 @dataclass
@@ -66,15 +66,212 @@ class TrafficStats:
         return self._occ_area / self._occ_time if self._occ_time > 0 else 0.0
 
     def summary(self) -> dict[str, float | int]:
-        """Flat dict for tables/CSV."""
-        return {
+        """Flat dict for tables/CSV.
+
+        Every blocked reason in the counter gets its own
+        ``blocked_<reason>`` column (``capacity`` and ``ports`` always
+        appear, even at zero, for stable CSV schemas); new reasons such
+        as ``"fault"`` or ``"retry-exhausted"`` are never silently
+        dropped.
+        """
+        out: dict[str, float | int] = {
             "offered": self.offered,
             "admitted": self.admitted,
             "completed": self.completed,
-            "blocked_capacity": self.blocked["capacity"],
-            "blocked_ports": self.blocked["ports"],
-            "blocking_probability": round(self.blocking_probability, 6),
-            "capacity_blocking_probability": round(self.capacity_blocking_probability, 6),
-            "mean_occupancy": round(self.mean_occupancy, 3),
-            "peak_occupancy": self.peak_occupancy,
+        }
+        for reason in sorted({"capacity", "ports"} | set(self.blocked)):
+            out[f"blocked_{reason}"] = self.blocked[reason]
+        out.update(
+            {
+                "blocking_probability": round(self.blocking_probability, 6),
+                "capacity_blocking_probability": round(self.capacity_blocking_probability, 6),
+                "mean_occupancy": round(self.mean_occupancy, 3),
+                "peak_occupancy": self.peak_occupancy,
+            }
+        )
+        return out
+
+
+@dataclass
+class AvailabilityStats:
+    """Availability accounting for the live fault-injection simulation.
+
+    Tracks three clocks at once:
+
+    * **link level** — failure/repair transitions reported by the fault
+      injector, giving the realized link MTTR;
+    * **conference level** — outage windows of admitted calls that a
+      fault (or a failed heal) knocked down, each capped at the call's
+      natural deadline so a call lost near its end is not charged an
+      infinite outage; and
+    * **population level** — time-weighted integrals of how many calls
+      are live, degraded (running on a fault-detour route), and down
+      (dropped, awaiting a retry).
+
+    ``availability`` is served conference-time over demanded
+    conference-time: ``area_live / (area_live + outage_time)``.
+    """
+
+    # -- link transitions --------------------------------------------------
+    link_failures: int = 0
+    link_repairs: int = 0
+    _link_down_since: dict = field(default_factory=dict)
+    _link_repair_time: float = 0.0
+
+    # -- healing actions ---------------------------------------------------
+    tap_move_events: int = 0
+    taps_moved_total: int = 0
+    reroutes: int = 0
+    reroute_links_touched: int = 0
+    drops: Counter = field(default_factory=Counter)
+    restores: int = 0
+    lost_calls: int = 0  # dropped and never restored (retries exhausted / no retry)
+
+    # -- retry queue -------------------------------------------------------
+    retries_scheduled: int = 0
+    retries_succeeded: int = 0
+    retries_exhausted: int = 0
+
+    # -- conference outage windows ----------------------------------------
+    _open_outages: dict = field(default_factory=dict)  # cid -> (start, deadline)
+    outage_time: float = 0.0
+    _closed_outage_time: float = 0.0
+    _closed_outages: int = 0
+
+    # -- time-weighted population integrals -------------------------------
+    _last_t: float = 0.0
+    _last_live: int = 0
+    _last_degraded: int = 0
+    _last_down: int = 0
+    _area_live: float = 0.0
+    _area_degraded: float = 0.0
+    _area_down: float = 0.0
+
+    # -- link level --------------------------------------------------------
+
+    def record_link_failed(self, now: float, point: tuple) -> None:
+        """A fault transition took ``point`` down."""
+        self.link_failures += 1
+        self._link_down_since[point] = now
+
+    def record_link_repaired(self, now: float, point: tuple) -> None:
+        """A repair transition brought ``point`` back."""
+        self.link_repairs += 1
+        down_since = self._link_down_since.pop(point, None)
+        if down_since is not None:
+            self._link_repair_time += now - down_since
+
+    @property
+    def link_mttr(self) -> float:
+        """Realized mean time-to-repair over completed link outages."""
+        return self._link_repair_time / self.link_repairs if self.link_repairs else 0.0
+
+    # -- healing actions ---------------------------------------------------
+
+    def record_tap_move(self, taps_moved: int) -> None:
+        """A conference survived a transition by mux re-selection alone."""
+        self.tap_move_events += 1
+        self.taps_moved_total += taps_moved
+
+    def record_reroute(self, links_touched: int) -> None:
+        """A conference survived by claiming a new path through the fabric."""
+        self.reroutes += 1
+        self.reroute_links_touched += links_touched
+
+    def record_drop(self, cause: str) -> None:
+        """A live conference was torn down (``cause``: fault/capacity)."""
+        self.drops[cause] += 1
+
+    @property
+    def dropped_total(self) -> int:
+        """All mid-call drops regardless of cause."""
+        return sum(self.drops.values())
+
+    # -- conference outage windows ----------------------------------------
+
+    def open_outage(self, cid: int, now: float, deadline: float) -> None:
+        """A dropped call starts its outage clock (capped at ``deadline``)."""
+        self._open_outages[cid] = (now, max(deadline, now))
+
+    def close_outage(self, cid: int, now: float) -> None:
+        """A retried call came back; charge the realized downtime.
+
+        Tolerates an unknown ``cid`` (no window was opened — the healing
+        controller is being driven without a traffic source): the
+        restore is still counted, with no downtime to charge.
+        """
+        window = self._open_outages.pop(cid, None)
+        if window is not None:
+            start, deadline = window
+            downtime = min(now, deadline) - start
+            self.outage_time += downtime
+            self._closed_outage_time += downtime
+            self._closed_outages += 1
+        self.restores += 1
+
+    def abandon_outage(self, cid: int) -> None:
+        """The call will never come back; charge the full remaining time."""
+        window = self._open_outages.pop(cid, None)
+        if window is not None:
+            start, deadline = window
+            self.outage_time += deadline - start
+        self.lost_calls += 1
+
+    @property
+    def conference_mttr(self) -> float:
+        """Mean downtime of calls that were dropped and later restored."""
+        return self._closed_outage_time / self._closed_outages if self._closed_outages else 0.0
+
+    # -- population integrals ---------------------------------------------
+
+    def observe(self, now: float, live: int, degraded: int, down: int) -> None:
+        """Advance the time-weighted live/degraded/down integrals."""
+        dt = now - self._last_t
+        if dt < 0:
+            raise ValueError("availability observations must be time-ordered")
+        self._area_live += self._last_live * dt
+        self._area_degraded += self._last_degraded * dt
+        self._area_down += self._last_down * dt
+        self._last_t = now
+        self._last_live = live
+        self._last_degraded = degraded
+        self._last_down = down
+
+    def finalize(self, now: float) -> None:
+        """Close all integrals and still-open outages at the horizon."""
+        self.observe(now, self._last_live, self._last_degraded, self._last_down)
+        for cid in sorted(self._open_outages):
+            start, deadline = self._open_outages.pop(cid)
+            self.outage_time += min(now, deadline) - start
+
+    @property
+    def availability(self) -> float:
+        """Served conference-time over demanded conference-time."""
+        demanded = self._area_live + self.outage_time
+        return self._area_live / demanded if demanded > 0 else 1.0
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Time-weighted fraction of live conference-time on detour routes."""
+        return self._area_degraded / self._area_live if self._area_live > 0 else 0.0
+
+    def summary(self) -> dict[str, float | int]:
+        """Flat dict for tables/CSV (deterministic key order and rounding)."""
+        return {
+            "availability": round(self.availability, 6),
+            "degraded_fraction": round(self.degraded_fraction, 6),
+            "outage_time": round(self.outage_time, 6),
+            "conference_mttr": round(self.conference_mttr, 6),
+            "link_failures": self.link_failures,
+            "link_repairs": self.link_repairs,
+            "link_mttr": round(self.link_mttr, 6),
+            "tap_move_events": self.tap_move_events,
+            "taps_moved_total": self.taps_moved_total,
+            "reroutes": self.reroutes,
+            "dropped": self.dropped_total,
+            "restored": self.restores,
+            "lost_calls": self.lost_calls,
+            "retries_scheduled": self.retries_scheduled,
+            "retries_succeeded": self.retries_succeeded,
+            "retries_exhausted": self.retries_exhausted,
         }

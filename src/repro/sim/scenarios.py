@@ -7,17 +7,32 @@ statistics.  Scenarios are pure functions of (parameters, seed).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.core.admission import AdmissionController
+from repro.core.healing import RetryPolicy, SelfHealingController
 from repro.core.network import ConferenceNetwork
 from repro.sim.engine import EventLoop
-from repro.sim.metrics import TrafficStats
-from repro.sim.traffic import ConferenceTrafficSource, TrafficConfig
-from repro.util.rng import ensure_rng
+from repro.sim.faults import (
+    FaultInjector,
+    FaultProcessConfig,
+    FaultTransition,
+    generate_fault_timeline,
+)
+from repro.sim.metrics import AvailabilityStats, TrafficStats
+from repro.sim.traffic import ConferenceTrafficSource, ResilientTrafficSource, TrafficConfig
+from repro.util.rng import ensure_rng, spawn_rngs
 from repro.util.validation import check_positive
 
-__all__ = ["run_traffic", "blocking_vs_dilation", "placement_comparison"]
+__all__ = [
+    "run_traffic",
+    "blocking_vs_dilation",
+    "placement_comparison",
+    "AvailabilityRun",
+    "run_availability",
+]
 
 
 def run_traffic(
@@ -34,6 +49,68 @@ def run_traffic(
     source.start(loop)
     loop.run(until=duration)
     return source.stats
+
+
+@dataclass(frozen=True)
+class AvailabilityRun:
+    """Everything one live fault-injection run produced."""
+
+    traffic: TrafficStats
+    availability: AvailabilityStats
+    timeline: tuple[FaultTransition, ...]
+
+    def summary(self) -> dict[str, float | int]:
+        """Traffic and availability counters merged into one flat dict."""
+        out: dict[str, float | int] = dict(self.traffic.summary())
+        out.update(self.availability.summary())
+        return out
+
+
+def run_availability(
+    topology: str,
+    n_ports: int,
+    dilation: int = 2,
+    relay_enabled: bool = True,
+    config: "TrafficConfig | None" = None,
+    process: "FaultProcessConfig | None" = None,
+    script: "tuple[FaultTransition, ...] | list[FaultTransition] | None" = None,
+    retry: "RetryPolicy | None" = None,
+    duration: float = 1000.0,
+    seed: int = 0,
+) -> AvailabilityRun:
+    """One live availability run: traffic + fault injection + self-healing.
+
+    The fault timeline is either the explicit ``script`` (pass the same
+    timeline to several runs to subject different designs to the
+    *identical* fault process) or pre-generated from ``process`` and the
+    seed.  Traffic, fault, and retry-jitter randomness come from three
+    independent child streams of ``seed``, so the whole run — every
+    transition, retry, and metric — is exactly reproducible.
+    """
+    check_positive(duration, "duration")
+    config = config or TrafficConfig()
+    traffic_rng, fault_rng, jitter_rng = spawn_rngs(seed, 3)
+    network = ConferenceNetwork.build(
+        topology, n_ports, dilation=dilation, relay_enabled=relay_enabled
+    )
+    if script is None:
+        script = generate_fault_timeline(
+            network.topology, process or FaultProcessConfig(), duration, seed=fault_rng
+        )
+    healing = SelfHealingController(network, retry=retry, seed=jitter_rng)
+    injector = FaultInjector(network.topology, script=script)
+    healing.attach(injector)
+    source = ResilientTrafficSource(healing, config, seed=traffic_rng)
+    loop = EventLoop()
+    injector.start(loop)
+    source.start(loop)
+    loop.run(until=duration)
+    healing.finalize(loop.now)
+    return AvailabilityRun(
+        traffic=source.stats,
+        availability=healing.stats,
+        timeline=tuple(script),
+    )
 
 
 def blocking_vs_dilation(

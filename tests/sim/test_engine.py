@@ -67,6 +67,34 @@ class TestEventLoop:
         loop.run(max_events=10)
         assert loop.processed == 10
 
+    def test_until_advances_clock_when_heap_drains_early(self):
+        # Regression: the heap running dry before the horizon used to
+        # leave `now` at the last event instead of the requested time.
+        loop = EventLoop()
+        loop.schedule(1.0, lambda lp: None)
+        loop.run(until=10.0)
+        assert loop.now == 10.0
+        assert loop.pending == 0
+
+    def test_until_advances_clock_on_empty_heap(self):
+        loop = EventLoop()
+        loop.run(until=7.0)
+        assert loop.now == 7.0
+
+    def test_max_events_stop_does_not_jump_to_horizon(self):
+        # A budget stop with work still pending must not teleport the
+        # clock past the unprocessed events.
+        loop = EventLoop()
+
+        def forever(lp):
+            lp.schedule(1.0, forever)
+
+        loop.schedule(0.0, forever)
+        loop.run(until=100.0, max_events=5)
+        assert loop.processed == 5
+        assert loop.pending == 1
+        assert loop.now == 4.0
+
     def test_schedule_at_absolute_time(self):
         loop = EventLoop()
         seen = []

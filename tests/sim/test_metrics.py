@@ -1,0 +1,125 @@
+"""Tests for the simulation statistics ledgers."""
+
+import pytest
+
+from repro.sim.metrics import AvailabilityStats, TrafficStats
+
+
+class TestTrafficSummaryReasons:
+    def test_standard_reasons_always_present(self):
+        summary = TrafficStats().summary()
+        assert summary["blocked_capacity"] == 0
+        assert summary["blocked_ports"] == 0
+
+    def test_every_reason_gets_a_column(self):
+        # Regression: the summary used to hardcode capacity/ports and
+        # silently dropped any other reason from the tables.
+        stats = TrafficStats()
+        stats.offered = 4
+        stats.block("capacity")
+        stats.block("fault")
+        stats.block("retry-exhausted")
+        summary = stats.summary()
+        assert summary["blocked_capacity"] == 1
+        assert summary["blocked_fault"] == 1
+        assert summary["blocked_retry-exhausted"] == 1
+        assert summary["blocked_ports"] == 0
+        assert stats.blocked_total == 3
+        assert summary["blocking_probability"] == pytest.approx(0.75)
+
+
+class TestAvailabilityLinkLevel:
+    def test_link_mttr(self):
+        stats = AvailabilityStats()
+        stats.record_link_failed(10.0, (1, 0))
+        stats.record_link_failed(12.0, (2, 3))
+        stats.record_link_repaired(14.0, (1, 0))  # down 4
+        stats.record_link_repaired(20.0, (2, 3))  # down 8
+        assert stats.link_failures == 2
+        assert stats.link_repairs == 2
+        assert stats.link_mttr == pytest.approx(6.0)
+
+    def test_mttr_empty(self):
+        assert AvailabilityStats().link_mttr == 0.0
+
+
+class TestAvailabilityOutages:
+    def test_closed_outage_charges_downtime(self):
+        stats = AvailabilityStats()
+        stats.open_outage(7, 10.0, deadline=100.0)
+        stats.close_outage(7, 25.0)
+        assert stats.outage_time == pytest.approx(15.0)
+        assert stats.restores == 1
+        assert stats.conference_mttr == pytest.approx(15.0)
+
+    def test_outage_capped_at_deadline(self):
+        # A call restored after its natural end only lost the remainder.
+        stats = AvailabilityStats()
+        stats.open_outage(7, 10.0, deadline=20.0)
+        stats.close_outage(7, 50.0)
+        assert stats.outage_time == pytest.approx(10.0)
+
+    def test_abandoned_outage_charges_to_deadline(self):
+        stats = AvailabilityStats()
+        stats.open_outage(7, 10.0, deadline=40.0)
+        stats.abandon_outage(7)
+        assert stats.outage_time == pytest.approx(30.0)
+        assert stats.lost_calls == 1
+        assert stats.restores == 0
+
+    def test_finalize_closes_open_outages(self):
+        stats = AvailabilityStats()
+        stats.observe(0.0, live=2, degraded=0, down=0)
+        stats.open_outage(3, 5.0, deadline=100.0)
+        stats.finalize(20.0)
+        assert stats.outage_time == pytest.approx(15.0)
+
+    def test_close_unknown_cid_still_counts_restore(self):
+        stats = AvailabilityStats()
+        stats.close_outage(99, 5.0)
+        assert stats.restores == 1
+        assert stats.outage_time == 0.0
+
+
+class TestAvailabilityIntegrals:
+    def test_availability_ratio(self):
+        stats = AvailabilityStats()
+        stats.observe(0.0, live=2, degraded=0, down=0)
+        stats.open_outage(1, 10.0, deadline=30.0)
+        stats.observe(10.0, live=1, degraded=0, down=1)
+        stats.close_outage(1, 20.0)
+        stats.observe(20.0, live=2, degraded=0, down=0)
+        stats.finalize(30.0)
+        # live area: 2*10 + 1*10 + 2*10 = 50; outage: 10.
+        assert stats.availability == pytest.approx(50.0 / 60.0)
+
+    def test_degraded_fraction(self):
+        stats = AvailabilityStats()
+        stats.observe(0.0, live=4, degraded=0, down=0)
+        stats.observe(10.0, live=4, degraded=2, down=0)
+        stats.finalize(20.0)
+        assert stats.degraded_fraction == pytest.approx(0.25)
+
+    def test_time_travel_rejected(self):
+        stats = AvailabilityStats()
+        stats.observe(5.0, live=1, degraded=0, down=0)
+        with pytest.raises(ValueError):
+            stats.observe(4.0, live=1, degraded=0, down=0)
+
+    def test_empty_run_is_fully_available(self):
+        stats = AvailabilityStats()
+        stats.finalize(0.0)
+        assert stats.availability == 1.0
+        assert stats.degraded_fraction == 0.0
+
+    def test_summary_is_flat_and_rounded(self):
+        stats = AvailabilityStats()
+        stats.record_tap_move(3)
+        stats.record_reroute(5)
+        stats.record_drop("fault")
+        summary = stats.summary()
+        assert summary["tap_move_events"] == 1
+        assert summary["taps_moved_total"] == 3
+        assert summary["reroutes"] == 1
+        assert summary["dropped"] == 1
+        assert all(isinstance(v, (int, float)) for v in summary.values())

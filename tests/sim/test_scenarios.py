@@ -2,8 +2,15 @@
 
 import pytest
 
+from repro.core.healing import RetryPolicy
 from repro.core.network import ConferenceNetwork
-from repro.sim.scenarios import blocking_vs_dilation, placement_comparison, run_traffic
+from repro.sim.faults import FaultProcessConfig
+from repro.sim.scenarios import (
+    blocking_vs_dilation,
+    placement_comparison,
+    run_availability,
+    run_traffic,
+)
 from repro.sim.traffic import TrafficConfig
 
 
@@ -36,6 +43,43 @@ class TestBlockingVsDilation:
         rows = blocking_vs_dilation("omega", 16, [1, 2], duration=50.0)
         assert [r["dilation"] for r in rows] == [1, 2]
         assert all(r["topology"] == "omega" for r in rows)
+
+
+class TestRunAvailability:
+    KW = dict(
+        dilation=2,
+        config=TrafficConfig(arrival_rate=1.0, mean_holding=10.0),
+        process=FaultProcessConfig(mean_time_to_failure=300.0, mean_time_to_repair=15.0),
+        retry=RetryPolicy(max_retries=5, base_delay=1.0, max_delay=20.0),
+        duration=300.0,
+    )
+
+    def test_accounting_is_coherent(self):
+        run = run_availability("extra-stage-cube", 16, seed=0, **self.KW)
+        assert run.traffic.offered > 0
+        assert 0.0 < run.availability.availability <= 1.0
+        assert run.availability.link_failures >= run.availability.link_repairs
+        summary = run.summary()
+        assert {"offered", "availability", "lost_calls", "link_failures"} <= set(summary)
+
+    def test_same_seed_byte_identical(self):
+        # The acceptance bar: the whole run — fault process, traffic,
+        # retry jitter — reproduces exactly from one seed.
+        a = run_availability("extra-stage-cube", 16, seed=42, **self.KW)
+        b = run_availability("extra-stage-cube", 16, seed=42, **self.KW)
+        assert a.summary() == b.summary()
+        assert a.timeline == b.timeline
+
+    def test_different_seeds_differ(self):
+        a = run_availability("extra-stage-cube", 16, seed=1, **self.KW)
+        b = run_availability("extra-stage-cube", 16, seed=2, **self.KW)
+        assert a.summary() != b.summary()
+
+    def test_fault_timeline_shared_across_relay_setting(self):
+        # The relay ablation must face the identical fault process.
+        on = run_availability("extra-stage-cube", 16, relay_enabled=True, seed=7, **self.KW)
+        off = run_availability("extra-stage-cube", 16, relay_enabled=False, seed=7, **self.KW)
+        assert on.timeline == off.timeline
 
 
 class TestPlacementComparison:

@@ -75,3 +75,44 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "survivability" in out
         assert "dead links" in out
+        # Default: both relay variants are reported.
+        assert "\non " in out and "\noff" in out
+
+    def test_faults_relay_flag_selects_one_row(self, capsys):
+        assert main(["faults", "--ports", "16", "--count", "2", "--no-relay"]) == 0
+        out = capsys.readouterr().out
+        assert "\noff" in out and "\non " not in out
+        assert main(["faults", "--ports", "16", "--count", "2", "--relay"]) == 0
+        out = capsys.readouterr().out
+        assert "\non " in out and "\noff" not in out
+
+    def test_faults_include_injections(self, capsys):
+        # With every level-0 wire dead, nothing can survive.
+        n_links = 16 * 4  # inter-stage links of a 16-port cube
+        code = main([
+            "faults", "--ports", "16", "--count", str(n_links + 16),
+            "--include-injections", "--seed", "0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(0," in out  # an injection point among the dead links
+
+    def test_availability(self, capsys):
+        code = main([
+            "availability", "--topology", "extra-stage-cube", "--ports", "16",
+            "--duration", "200", "--mttf", "200", "--mttr", "10", "--seed", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "availability over time" in out
+        assert "\non " in out and "\noff" in out
+
+    def test_availability_with_traffic(self, capsys):
+        code = main([
+            "availability", "--ports", "16", "--duration", "150",
+            "--mttf", "150", "--mttr", "10", "--traffic",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bounded backoff" in out
+        assert "backoff" in out and "no-retry" in out
