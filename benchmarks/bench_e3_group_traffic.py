@@ -12,17 +12,21 @@ and less contention; a multicast costs roughly half a conference's
 links at the same group size.
 """
 
+import os
+
 import numpy as np
 from _common import emit
 
-from repro.core.conflict import analyze_conflicts
 from repro.core.groupcast import GroupConnection, route_group
+from repro.parallel.experiments import group_traffic_trial
+from repro.parallel.runner import run_trials
 from repro.topology.builders import build
 from repro.util.rng import ensure_rng
 
 N_PORTS = 64
 TRIALS = 25
 GROUP_SIZE = 6
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0")) or None
 
 
 def draw_port_groups(seed):
@@ -31,35 +35,29 @@ def draw_port_groups(seed):
     return [perm[i : i + GROUP_SIZE] for i in range(0, N_PORTS - GROUP_SIZE, GROUP_SIZE)][:8]
 
 
-def shapes(ports, cid):
-    return {
-        "conference": GroupConnection.conference(ports, connection_id=cid),
-        "multicast": GroupConnection.multicast(ports[0], ports[1:], connection_id=cid),
-        "panel": GroupConnection(senders=tuple(ports[:2]), receivers=tuple(ports), connection_id=cid),
+def build_rows(workers=WORKERS):
+    # Each engine trial draws one family of groups (legacy seed 7000+i)
+    # and measures all three connection shapes on it.
+    params = {
+        "topology": "indirect-binary-cube",
+        "n_ports": N_PORTS,
+        "group_size": GROUP_SIZE,
+        "n_groups": 8,
     }
-
-
-def build_rows():
-    net = build("indirect-binary-cube", N_PORTS)
+    records = run_trials(
+        group_traffic_trial, TRIALS, params=params,
+        seeds=range(7000, 7000 + TRIALS), workers=workers,
+    )
     rows = []
     for shape in ("conference", "panel", "multicast"):
-        links, dils, depths = [], [], []
-        for i in range(TRIALS):
-            groups = draw_port_groups(7000 + i)
-            routes = [
-                route_group(net, shapes(g, cid)[shape]) for cid, g in enumerate(groups)
-            ]
-            links.append(np.mean([r.n_links for r in routes]))
-            depths.append(np.mean([r.depth for r in routes]))
-            dils.append(analyze_conflicts(routes, n_stages=net.n_stages).max_multiplicity)
         rows.append(
             {
                 "shape": shape,
                 "senders": {"conference": GROUP_SIZE, "panel": 2, "multicast": 1}[shape],
                 "receivers": GROUP_SIZE if shape != "multicast" else GROUP_SIZE - 1,
-                "mean_links_per_connection": float(np.mean(links)),
-                "mean_depth": float(np.mean(depths)),
-                "mean_dilation": float(np.mean(dils)),
+                "mean_links_per_connection": float(np.mean([r[shape]["mean_links"] for r in records])),
+                "mean_depth": float(np.mean([r[shape]["mean_depth"] for r in records])),
+                "mean_dilation": float(np.mean([r[shape]["dilation"] for r in records])),
             }
         )
     return rows

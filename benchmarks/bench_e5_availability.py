@@ -17,16 +17,21 @@ process is identical across arms:
   ride out repair windows instead of abandoning calls.
 """
 
+import os
+
 from _common import emit
 
 from repro.analysis.resilience import availability_over_time, retry_ablation
 from repro.core.healing import RetryPolicy
+from repro.parallel.experiments import availability_arm
+from repro.parallel.runner import run_tasks
 from repro.sim.faults import FaultProcessConfig
 from repro.sim.scenarios import run_availability
 from repro.sim.traffic import TrafficConfig
 
 N_PORTS = 32
 DURATION = 1500.0
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0")) or None
 
 STEADY_PROCESS = FaultProcessConfig(mean_time_to_failure=1500.0, mean_time_to_repair=30.0)
 STEADY_RETRY = RetryPolicy(max_retries=10, base_delay=1.0, backoff=2.0, max_delay=60.0)
@@ -36,20 +41,23 @@ TRAFFIC_PROCESS = FaultProcessConfig(mean_time_to_failure=800.0, mean_time_to_re
 TRAFFIC_RETRY = RetryPolicy(max_retries=10, base_delay=1.0, backoff=2.0, max_delay=40.0)
 
 
-def build_rows():
+def build_rows(workers=WORKERS):
+    # One engine task per topology: each runs the relay-on/off pair on
+    # its own pre-generated fault timeline.
+    arms = [{"topology": topo} for topo in ("indirect-binary-cube", "extra-stage-cube", "benes-cube")]
+    params = {
+        "n_ports": N_PORTS,
+        "process": STEADY_PROCESS,
+        "duration": DURATION,
+        "retry": STEADY_RETRY,
+        "seed": 0,
+    }
     rows = []
-    for topo in ("indirect-binary-cube", "extra-stage-cube", "benes-cube"):
-        for row in availability_over_time(
-            topo,
-            N_PORTS,
-            process=STEADY_PROCESS,
-            duration=DURATION,
-            retry=STEADY_RETRY,
-            seed=0,
-        ):
+    for arm_rows in run_tasks(availability_arm, arms, params=params, workers=workers):
+        for row in arm_rows:
             rows.append(
                 {
-                    "topology": topo,
+                    "topology": row["topology"],
                     "relay": row["relay"],
                     "availability": row["availability"],
                     "degraded_fraction": row["degraded_fraction"],

@@ -6,66 +6,59 @@ are routed and the distribution of the required dilation (max link
 multiplicity per set) is reported.  Includes the clustered generator to
 show that locality tames the cube's conflicts, and the interleaved
 generator to show how far random draws sit from the adversarial corner.
+
+The sweep runs on the parallel experiment engine
+(:func:`repro.parallel.experiments.random_load_arm`) with the legacy
+per-trial seed convention (``base + i``), so the numbers are identical
+to the original single-process loop at any worker count — experiment
+P1 times exactly this sweep serial vs parallel.
 """
 
-import numpy as np
+import os
+
 from _common import emit
 
-from repro.core.conflict import analyze_conflicts
-from repro.core.routing import route_conference
-from repro.topology.builders import PAPER_TOPOLOGIES, build
-from repro.workloads.generators import clustered, interleaved, uniform_partition
+from repro.parallel.experiments import random_load_arm
+from repro.topology.builders import PAPER_TOPOLOGIES
 
 N_PORTS = 64
 TRIALS = 40
 LOADS = (0.25, 0.5, 0.75, 1.0)
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0")) or None
 
 
-def _distribution(net, sets):
-    maxes = []
-    for cs in sets:
-        routes = [route_conference(net, c) for c in cs]
-        report = analyze_conflicts(routes, n_stages=net.n_stages)
-        maxes.append(report.max_multiplicity)
-    arr = np.asarray(maxes)
-    return {
-        "mean": float(arr.mean()),
-        "p95": float(np.percentile(arr, 95)),
-        "max": int(arr.max()),
-    }
-
-
-def build_rows():
+def build_rows(workers=WORKERS, chunk_size=None):
     rows = []
     for name in PAPER_TOPOLOGIES:
-        net = build(name, N_PORTS)
         for load in LOADS:
-            sets = [
-                uniform_partition(N_PORTS, load=load, seed=1000 + i)
-                for i in range(TRIALS)
-            ]
-            stats = _distribution(net, sets)
-            rows.append({"topology": name, "workload": "uniform", "load": load, **stats})
-        sets = [clustered(N_PORTS, load=0.75, seed=2000 + i) for i in range(TRIALS)]
-        rows.append(
-            {"topology": name, "workload": "clustered", "load": 0.75, **_distribution(net, sets)}
+            arm = random_load_arm(
+                name, N_PORTS, workload="uniform", trials=TRIALS,
+                seeds=range(1000, 1000 + TRIALS), load=load,
+                workers=workers, chunk_size=chunk_size,
+            )
+            rows.append({"topology": name, "workload": "uniform", "load": load, **arm["summary"]})
+        arm = random_load_arm(
+            name, N_PORTS, workload="clustered", trials=TRIALS,
+            seeds=range(2000, 2000 + TRIALS), load=0.75,
+            workers=workers, chunk_size=chunk_size,
         )
-        sets = [interleaved(N_PORTS, seed=3000 + i) for i in range(TRIALS)]
-        rows.append(
-            {"topology": name, "workload": "interleaved", "load": 0.22, **_distribution(net, sets)}
+        rows.append({"topology": name, "workload": "clustered", "load": 0.75, **arm["summary"]})
+        arm = random_load_arm(
+            name, N_PORTS, workload="interleaved", trials=TRIALS,
+            seeds=range(3000, 3000 + TRIALS),
+            workers=workers, chunk_size=chunk_size,
         )
+        rows.append({"topology": name, "workload": "interleaved", "load": 0.22, **arm["summary"]})
     return rows
 
 
 def test_f1_random_load(benchmark):
-    net = build("indirect-binary-cube", N_PORTS)
-    workload = uniform_partition(N_PORTS, load=0.75, seed=7)
-
-    def kernel():
-        routes = [route_conference(net, c) for c in workload]
-        return analyze_conflicts(routes, n_stages=net.n_stages)
-
-    benchmark(kernel)
+    benchmark(
+        lambda: random_load_arm(
+            "indirect-binary-cube", N_PORTS, workload="uniform",
+            trials=1, seeds=[7], load=0.75,
+        )
+    )
     rows = build_rows()
     emit(
         "f1_random_load",

@@ -10,33 +10,41 @@ traffic actually needs: capacity blocking collapses after a dilation of
 from _common import emit
 
 from repro.core.network import ConferenceNetwork
+from repro.parallel.experiments import traffic_arm
+from repro.parallel.runner import run_tasks
 from repro.sim.scenarios import run_traffic
 from repro.sim.traffic import TrafficConfig
+
+import os
 
 N_PORTS = 64
 DILATIONS = (1, 2, 3, 4, 8)
 TOPOLOGIES = ("indirect-binary-cube", "omega")
 CONFIG = TrafficConfig(arrival_rate=2.0, mean_holding=6.0, mean_size=4.0)
 DURATION = 1500.0
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0")) or None
 
 
-def build_rows():
-    rows = []
-    for name in TOPOLOGIES:
-        for dilation in DILATIONS:
-            network = ConferenceNetwork.build(name, N_PORTS, dilation=dilation)
-            stats = run_traffic(network, CONFIG, duration=DURATION, seed=2026)
-            rows.append(
-                {
-                    "topology": name,
-                    "dilation": dilation,
-                    "offered": stats.offered,
-                    "capacity_blocking": stats.capacity_blocking_probability,
-                    "port_blocking": stats.blocked["ports"] / stats.offered,
-                    "mean_live_conferences": round(stats.mean_occupancy, 2),
-                }
-            )
-    return rows
+def build_rows(workers=WORKERS):
+    # The sweep's arms (topology x dilation) are independent runs off
+    # one seed, so they shard cleanly across the engine's workers.
+    arms = [
+        {"topology": name, "dilation": dilation}
+        for name in TOPOLOGIES
+        for dilation in DILATIONS
+    ]
+    params = {"n_ports": N_PORTS, "config": CONFIG, "duration": DURATION, "seed": 2026}
+    return [
+        {
+            "topology": cell["topology"],
+            "dilation": cell["dilation"],
+            "offered": cell["offered"],
+            "capacity_blocking": cell["capacity_blocking"],
+            "port_blocking": cell["port_blocking"],
+            "mean_live_conferences": round(cell["mean_occupancy"], 2),
+        }
+        for cell in run_tasks(traffic_arm, arms, params=params, workers=workers)
+    ]
 
 
 def test_f3_blocking(benchmark):

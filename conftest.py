@@ -5,3 +5,13 @@ from pathlib import Path
 _src = str(Path(__file__).parent / "src")
 if _src not in sys.path:
     sys.path.insert(0, _src)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden regression corpus under tests/golden/ "
+        "from the current behavior instead of comparing against it",
+    )

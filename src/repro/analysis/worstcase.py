@@ -212,6 +212,8 @@ def randomized_search(
     pool_size: int = 64,
     policy: "RoutingPolicy | None" = None,
     seed: "int | np.random.Generator | None" = None,
+    workers: "int | None" = None,
+    chunk_size: "int | None" = None,
 ) -> SearchResult:
     """Stochastic hill climbing for a high-multiplicity conference set.
 
@@ -220,11 +222,38 @@ def randomized_search(
     conferences crossing that link.  Returns the best witness found;
     this is a *lower* bound and is compared against the exact matching
     bound in the experiments.
+
+    ``workers`` switches to the sharded engine
+    (:func:`repro.parallel.experiments.randomized_search_parallel`):
+    trials draw from per-trial seed streams, so the result is identical
+    for every worker count and chunking — but it is a *different*
+    (equally valid) sample than the legacy single-stream walk, which
+    stays the default for backward reproducibility.  The sharded path
+    requires ``seed`` to be an integer (or ``None``) and ``net`` to be
+    a registry topology.
     """
     policy = policy or RoutingPolicy()
+    if workers is not None:
+        from repro.parallel.experiments import randomized_search_parallel
+
+        if isinstance(seed, np.random.Generator):
+            raise TypeError("the sharded search needs an integer seed, not a Generator")
+        return randomized_search_parallel(
+            net.name,
+            net.n_ports,
+            trials=trials,
+            pool_size=pool_size,
+            policy=policy,
+            seed=seed,
+            workers=workers,
+            chunk_size=chunk_size,
+        )
+    from repro.parallel.cache import RouteCache
+
     rng = ensure_rng(seed)
     n = net.n_ports
     ilog2(n)
+    cache = RouteCache(net, policy)
     best = SearchResult(0, None, None, 0, False)
 
     for _ in range(trials):
@@ -236,7 +265,7 @@ def randomized_search(
         loads: Counter = Counter()
         links_of: dict[tuple[int, int], frozenset[Point]] = {}
         for pair in pairs:
-            links = route_conference(net, Conference.of(pair), policy).links
+            links = cache.route(Conference.of(pair)).links
             links_of[pair] = links
             loads.update(links)
         if not loads:
@@ -253,8 +282,7 @@ def randomized_search(
                 if a in used or b in used:
                     continue
                 pair = (min(a, b), max(a, b))
-                links = route_conference(net, Conference.of(pair), policy).links
-                if target in links:
+                if target in cache.route(Conference.of(pair)).links:
                     keep.append(pair)
                     used.update(pair)
         if len(keep) > best.multiplicity:

@@ -12,6 +12,7 @@ quick interactive inspection of networks and conference routings::
     conference-net schedule --ports 32 --load 0.8
     conference-net faults --ports 32 --count 4 --no-relay
     conference-net availability --topology extra-stage-cube --ports 32
+    conference-net sweep --ports 64 --trials 200 --workers 4
 """
 
 from __future__ import annotations
@@ -47,6 +48,10 @@ __all__ = ["main", "build_parser"]
 
 def _ports_list(text: str) -> list[int]:
     return [int(x) for x in text.split(",") if x]
+
+
+def _floats_list(text: str) -> list[float]:
+    return [float(x) for x in text.split(",") if x]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -131,6 +136,49 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run the stochastic-traffic retry ablation (slower)",
     )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="sharded Monte Carlo sweep on the parallel experiment engine",
+    )
+    sweep.add_argument(
+        "--experiment",
+        default="random-load",
+        choices=("random-load", "worstcase"),
+        help="random-load: F1-style dilation sweep; worstcase: randomized search",
+    )
+    sweep.add_argument("--topology", default="indirect-binary-cube", choices=sorted(TOPOLOGY_BUILDERS))
+    sweep.add_argument("--ports", type=int, default=64)
+    sweep.add_argument("--trials", type=int, default=100)
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool width; omit for the in-process serial engine "
+        "(results are identical either way)",
+    )
+    sweep.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="trials per submitted batch (result-invariant; default ~4 chunks/worker)",
+    )
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--loads",
+        type=_floats_list,
+        default=[0.25, 0.5, 0.75, 1.0],
+        metavar="L1,L2,...",
+        help="offered loads for the random-load sweep",
+    )
+    sweep.add_argument(
+        "--workload",
+        default="uniform",
+        choices=("uniform", "clustered", "interleaved"),
+    )
+    sweep.add_argument("--pool-size", type=int, default=64, help="worstcase: pairs seeded per trial")
+    sweep.add_argument("--json", metavar="PATH", help="also write the full records as JSON")
     return parser
 
 
@@ -289,6 +337,75 @@ def _cmd_availability(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.parallel.experiments import random_load_arm, search_trials, reduce_search_records
+
+    engine = f"workers={args.workers}" if args.workers else "serial engine"
+    payload: dict = {
+        "experiment": args.experiment,
+        "topology": args.topology,
+        "n_ports": args.ports,
+        "trials": args.trials,
+        "seed": args.seed,
+        "workers": args.workers,
+        "chunk_size": args.chunk_size,
+    }
+    if args.experiment == "random-load":
+        rows = []
+        arms = {}
+        loads = args.loads if args.workload != "interleaved" else [None]
+        for load in loads:
+            kwargs = {} if load is None else {"load": load}
+            arm = random_load_arm(
+                args.topology,
+                args.ports,
+                workload=args.workload,
+                trials=args.trials,
+                seed=args.seed,
+                workers=args.workers,
+                chunk_size=args.chunk_size,
+                **kwargs,
+            )
+            arms[str(load)] = arm
+            rows.append({"workload": args.workload, "load": load, **arm["summary"]})
+        print(render_table(
+            rows,
+            title=f"sweep: required dilation ({args.topology}, N={args.ports}, "
+            f"{args.trials} trials/arm, {engine})",
+        ))
+        payload["arms"] = arms
+    else:
+        records = search_trials(
+            args.topology,
+            args.ports,
+            trials=args.trials,
+            pool_size=args.pool_size,
+            seed=args.seed,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+        )
+        result = reduce_search_records(records, args.ports)
+        witness = [list(c.members) for c in result.witness] if result.witness else []
+        print(
+            f"worst multiplicity found: {result.multiplicity} on link {result.link} "
+            f"({args.trials} trials, {engine})"
+        )
+        print(f"witness: {witness}")
+        payload["records"] = records
+        payload["best"] = {
+            "multiplicity": result.multiplicity,
+            "link": list(result.link) if result.link else None,
+            "witness": witness,
+        }
+    if args.json:
+        with open(args.json, "w") as fh:
+            _json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"records written to {args.json}")
+    return 0
+
+
 _COMMANDS = {
     "show": _cmd_show,
     "route": _cmd_route,
@@ -298,6 +415,7 @@ _COMMANDS = {
     "schedule": _cmd_schedule,
     "faults": _cmd_faults,
     "availability": _cmd_availability,
+    "sweep": _cmd_sweep,
 }
 
 

@@ -55,6 +55,7 @@ from repro.util.validation import check_positive
 if TYPE_CHECKING:  # pragma: no cover - annotations only
     import numpy as np
 
+    from repro.parallel.cache import RouteCache
     from repro.sim.engine import EventLoop
     from repro.sim.faults import FaultTransition
     from repro.sim.metrics import AvailabilityStats
@@ -114,6 +115,13 @@ class SelfHealingController:
     ``on_drop`` / ``on_restore`` / ``on_lost`` are optional hooks for a
     traffic source to keep its own bookkeeping (port pools, departure
     schedules, blocked counters) in sync with healing decisions.
+
+    ``route_cache`` optionally memoizes the controller's route
+    computations through a :class:`~repro.parallel.cache.RouteCache`
+    bound to the same topology and policy.  The controller always keys
+    lookups by the explicit fault set in force, so cached healthy
+    routes are never reused across a fault transition — behaviour is
+    bit-identical with and without the cache, only faster.
     """
 
     def __init__(
@@ -122,6 +130,7 @@ class SelfHealingController:
         retry: "RetryPolicy | None" = None,
         stats: "AvailabilityStats | None" = None,
         seed: "int | np.random.Generator | None" = None,
+        route_cache: "RouteCache | None" = None,
     ):
         if stats is None:
             # Imported lazily: repro.sim pulls this module in via the
@@ -129,6 +138,13 @@ class SelfHealingController:
             from repro.sim.metrics import AvailabilityStats
 
             stats = AvailabilityStats()
+        if route_cache is not None:
+            topo = network.topology
+            if (route_cache.network.name, route_cache.network.n_ports) != (topo.name, topo.n_ports):
+                raise ValueError("route cache is bound to a different network")
+            if route_cache.policy != network.policy:
+                raise ValueError("route cache is bound to a different routing policy")
+        self._cache = route_cache
         self._network = network
         self._inner = AdmissionController(network)
         self._retry = retry
@@ -188,6 +204,18 @@ class SelfHealingController:
         """The live route of one admitted conference."""
         return self._inner.route_of(conference_id)
 
+    def _route(self, conference: Conference, faults: frozenset = frozenset()) -> Route:
+        """Route under an *explicit* fault set, via the cache if present.
+
+        The fault set is always passed through to the cache key (never
+        left to the cache's own tracked state), so a cache entry
+        computed on the healthy network can never be served for a
+        degraded one — see ``tests/parallel/test_route_cache.py``.
+        """
+        if self._cache is not None:
+            return self._cache.route(conference, faults=faults)
+        return self._network.route(conference, faults=faults or None)
+
     def link_load(self, link: Point) -> int:
         """Current channel load on one inter-stage link."""
         return self._inner.link_load(link)
@@ -216,13 +244,13 @@ class SelfHealingController:
             raise AdmissionDenied("ports", f"ports {sorted(clash)} already in a conference")
         faults = frozenset(self._faults)
         try:
-            route = self._network.route(conference, faults=faults or None)
+            route = self._route(conference, faults)
         except UnroutableError as exc:
             raise AdmissionDenied("fault", str(exc)) from exc
         self._inner.admit_route(route)
         cid = conference.conference_id
         if faults:
-            self._healthy[cid] = self._network.route(conference)
+            self._healthy[cid] = self._route(conference)
             if route != self._healthy[cid]:
                 self._degraded.add(cid)
         else:
@@ -320,7 +348,7 @@ class SelfHealingController:
         for cid in sorted(self._degraded):
             cur = self._inner.route_of(cid)
             try:
-                new = self._network.route(cur.conference, faults=faults or None)
+                new = self._route(cur.conference, faults)
             except UnroutableError:  # pragma: no cover - repairs only add paths
                 continue
             if new == cur:
@@ -332,7 +360,7 @@ class SelfHealingController:
 
     def _heal(self, loop, cid: int, old: Route, faults: frozenset) -> None:
         try:
-            new = self._network.route(old.conference, faults=faults)
+            new = self._route(old.conference, faults)
         except UnroutableError:
             self._drop(loop, cid, "fault")
             return
@@ -363,7 +391,7 @@ class SelfHealingController:
     def _update_degraded(self, cid: int, route: Route) -> None:
         healthy = self._healthy.get(cid)
         if healthy is None:  # pragma: no cover - defensive
-            healthy = self._healthy[cid] = self._network.route(route.conference)
+            healthy = self._healthy[cid] = self._route(route.conference)
         if route == healthy:
             self._degraded.discard(cid)
         else:

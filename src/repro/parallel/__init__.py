@@ -1,0 +1,52 @@
+"""Parallel sharded experiment engine.
+
+Fan Monte Carlo trials out over worker processes with per-trial seed
+streams and an ordered deterministic reduction, so results are
+byte-identical for any worker count and chunking; memoize hot routing
+work through the fault-aware :class:`RouteCache`.
+
+See DESIGN.md ("Parallel experiment engine") for the determinism
+contract and ``tests/parallel/`` for the differential suite enforcing
+it.
+"""
+
+from repro.parallel.cache import (
+    CacheStats,
+    RouteCache,
+    shared_network,
+    shared_route_cache,
+)
+from repro.parallel.experiments import (
+    random_load_arm,
+    randomized_search_parallel,
+    search_trials,
+    summarize_multiplicities,
+)
+from repro.parallel.runner import ExperimentRunner, NetworkSpec, run_tasks, run_trials
+from repro.parallel.seeds import (
+    chunk_slices,
+    chunk_tasks,
+    seed_fingerprint,
+    spawn_seed_sequences,
+    trial_seeds,
+)
+
+__all__ = [
+    "CacheStats",
+    "RouteCache",
+    "shared_network",
+    "shared_route_cache",
+    "random_load_arm",
+    "randomized_search_parallel",
+    "search_trials",
+    "summarize_multiplicities",
+    "ExperimentRunner",
+    "NetworkSpec",
+    "run_tasks",
+    "run_trials",
+    "chunk_slices",
+    "chunk_tasks",
+    "seed_fingerprint",
+    "spawn_seed_sequences",
+    "trial_seeds",
+]

@@ -1,0 +1,64 @@
+"""The golden-corpus fixture.
+
+``golden(name, computed)`` compares ``computed`` (anything JSON-encodable)
+against ``tests/golden/data/<name>.json``.  On drift it fails loudly
+with a unified diff of the two renderings.  Run
+
+    pytest tests/golden --update-golden
+
+to rewrite the corpus from current behavior — the resulting git diff is
+then the review artifact for an intentional behavior change.
+
+Values are normalized through a JSON round-trip before comparison, so
+tuples/lists and int/float distinctions that JSON cannot represent are
+not spurious drift.
+"""
+
+import difflib
+import json
+from pathlib import Path
+
+import pytest
+
+DATA_DIR = Path(__file__).parent / "data"
+
+
+def _render(computed) -> str:
+    normalized = json.loads(json.dumps(computed, sort_keys=True))
+    return json.dumps(normalized, indent=2, sort_keys=True) + "\n"
+
+
+@pytest.fixture
+def golden(request):
+    update = request.config.getoption("--update-golden")
+
+    def check(name: str, computed) -> None:
+        path = DATA_DIR / f"{name}.json"
+        rendered = _render(computed)
+        if update:
+            DATA_DIR.mkdir(exist_ok=True)
+            path.write_text(rendered)
+            return
+        if not path.exists():
+            pytest.fail(
+                f"missing golden file {path} — generate the corpus with "
+                "`pytest tests/golden --update-golden`"
+            )
+        expected = path.read_text()
+        if rendered == expected:
+            return
+        diff = "\n".join(
+            difflib.unified_diff(
+                expected.splitlines(),
+                rendered.splitlines(),
+                fromfile=f"{path} (golden)",
+                tofile=f"{name} (computed)",
+                lineterm="",
+            )
+        )
+        pytest.fail(
+            f"golden drift in {name!r} — if intentional, rerun with "
+            f"--update-golden and commit the diff:\n{diff}"
+        )
+
+    return check

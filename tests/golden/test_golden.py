@@ -1,0 +1,91 @@
+"""Golden regression corpus for the headline experiments.
+
+Each test recomputes a small but representative slice of an experiment
+family and compares the *full* record structure — not a summary
+statistic — against a committed JSON snapshot.  Any change to routing,
+seeding, workload generation or reduction shows up as a reviewable
+unified diff instead of a silent drift in benchmark numbers.
+
+The slices deliberately run through the parallel engine's serial path,
+which the differential suite (``tests/parallel``) proves identical to
+every pooled configuration — so one corpus covers both engines.
+"""
+
+import pytest
+
+from repro.parallel.experiments import (
+    random_load_arm,
+    randomized_search_parallel,
+    search_trials,
+)
+from repro.sim.traffic import TrafficConfig
+
+pytestmark = [pytest.mark.tier1, pytest.mark.parallel]
+
+N_PORTS = 16
+
+
+class TestWorstcaseSearchGolden:
+    def test_search_records(self, golden):
+        records = search_trials(
+            "indirect-binary-cube", N_PORTS, trials=20, pool_size=8, seed=11
+        )
+        golden("search_records_cube16", records)
+
+    def test_search_result(self, golden):
+        best = randomized_search_parallel(
+            "indirect-binary-cube", N_PORTS, trials=20, pool_size=8, seed=11
+        )
+        golden(
+            "search_result_cube16",
+            {
+                "multiplicity": best.multiplicity,
+                "link": best.link,
+                "explored": best.explored,
+                "exact": best.exact,
+                "witness": [list(c.members) for c in best.witness.conferences],
+            },
+        )
+
+
+class TestRandomLoadGolden:
+    @pytest.mark.parametrize("topology", ["indirect-binary-cube", "omega"])
+    def test_f1_arm(self, golden, topology):
+        arm = random_load_arm(topology, N_PORTS, trials=12, seed=123)
+        golden(f"f1_random_load_{topology}16", arm)
+
+    def test_f1_clustered_arm(self, golden):
+        arm = random_load_arm(
+            "indirect-binary-cube",
+            N_PORTS,
+            workload="clustered",
+            trials=12,
+            seed=321,
+            load=0.75,
+        )
+        golden("f1_clustered_cube16", arm)
+
+
+class TestTrafficGolden:
+    def test_f3_small_sweep(self, golden):
+        from repro.parallel.experiments import traffic_arm
+
+        config = TrafficConfig(arrival_rate=1.0, mean_holding=8.0, mean_size=3.0, max_size=5)
+        arms = [
+            {"topology": topology, "dilation": dilation}
+            for topology in ("indirect-binary-cube", "extra-stage-cube")
+            for dilation in (1, 2)
+        ]
+        rows = [
+            traffic_arm(
+                arm,
+                params={
+                    "n_ports": N_PORTS,
+                    "config": config,
+                    "duration": 120.0,
+                    "seed": 5,
+                },
+            )
+            for arm in arms
+        ]
+        golden("f3_traffic_sweep16", rows)

@@ -1,0 +1,163 @@
+"""Differential suite: the parallel engine is bit-identical to serial.
+
+The engine's contract is that worker count and chunk size are invisible
+in the output — not statistically, *exactly*: per-trial records, their
+order, and every derived summary statistic must match the serial
+engine's output byte for byte.  These tests run the same experiments
+through the inline serial path (``workers=None``) and through process
+pools of width 1, 2 and 4 at several chunk sizes, and assert equality
+of the full record structures.
+
+Set ``REPRO_TEST_WORKERS`` to add an extra pool width to the grid (CI
+runs the suite on a 2-worker matrix).
+"""
+
+import os
+
+import pytest
+
+from repro.parallel.experiments import (
+    group_traffic_trial,
+    random_load_arm,
+    randomized_search_parallel,
+    search_trials,
+    summarize_multiplicities,
+)
+from repro.parallel.runner import ExperimentRunner, run_tasks, run_trials
+
+pytestmark = [pytest.mark.tier1, pytest.mark.parallel]
+
+
+def _worker_grid() -> list[int]:
+    grid = [1, 2, 4]
+    extra = int(os.environ.get("REPRO_TEST_WORKERS", "0"))
+    if extra and extra not in grid:
+        grid.append(extra)
+    return grid
+
+
+WORKERS = _worker_grid()
+CHUNKS = (1, 4)
+
+
+class TestRandomLoadDifferential:
+    """F1-family sweep cells: parallel == serial, records and summary."""
+
+    @pytest.mark.parametrize("topology,n_ports", [("indirect-binary-cube", 16), ("omega", 32)])
+    def test_grid_matches_serial(self, topology, n_ports):
+        serial = random_load_arm(topology, n_ports, trials=10, seed=123)
+        assert len(serial["records"]) == 10
+        assert [r["trial"] for r in serial["records"]] == list(range(10))
+        for workers in WORKERS:
+            for chunk in CHUNKS:
+                parallel = random_load_arm(
+                    topology, n_ports, trials=10, seed=123,
+                    workers=workers, chunk_size=chunk,
+                )
+                assert parallel["records"] == serial["records"], (workers, chunk)
+                assert parallel["summary"] == serial["summary"], (workers, chunk)
+
+    def test_explicit_seed_list_matches_serial(self):
+        seeds = range(1000, 1012)
+        serial = random_load_arm(
+            "indirect-binary-cube", 16, workload="clustered", trials=12,
+            seeds=seeds, load=0.75,
+        )
+        parallel = random_load_arm(
+            "indirect-binary-cube", 16, workload="clustered", trials=12,
+            seeds=seeds, load=0.75, workers=2, chunk_size=5,
+        )
+        assert parallel == serial
+
+    @pytest.mark.slow
+    def test_default_chunking_matches_serial(self):
+        serial = random_load_arm("baseline", 16, trials=17, seed=9)
+        for workers in WORKERS:
+            parallel = random_load_arm("baseline", 16, trials=17, seed=9, workers=workers)
+            assert parallel == serial
+
+
+class TestSearchDifferential:
+    """The sharded randomized search reduces identically at any width."""
+
+    def test_records_and_reduction_match_serial(self):
+        serial_records = search_trials("indirect-binary-cube", 16, trials=12, pool_size=8, seed=7)
+        serial_best = randomized_search_parallel(
+            "indirect-binary-cube", 16, trials=12, pool_size=8, seed=7
+        )
+        for workers in WORKERS:
+            for chunk in CHUNKS:
+                records = search_trials(
+                    "indirect-binary-cube", 16, trials=12, pool_size=8, seed=7,
+                    workers=workers, chunk_size=chunk,
+                )
+                assert records == serial_records, (workers, chunk)
+                best = randomized_search_parallel(
+                    "indirect-binary-cube", 16, trials=12, pool_size=8, seed=7,
+                    workers=workers, chunk_size=chunk,
+                )
+                assert best == serial_best, (workers, chunk)
+
+    def test_randomized_search_workers_kwarg(self):
+        from repro.analysis.worstcase import randomized_search
+        from repro.topology.builders import build
+
+        net = build("indirect-binary-cube", 16)
+        one = randomized_search(net, trials=10, pool_size=8, seed=3, workers=1)
+        two = randomized_search(net, trials=10, pool_size=8, seed=3, workers=2, chunk_size=3)
+        assert one == two
+        assert one.multiplicity >= 2
+
+    @pytest.mark.slow
+    def test_search_prefix_stability(self):
+        # Growing the trial count only appends trials: a consequence of
+        # the spawned seed streams that makes sweeps resumable.
+        short = search_trials("omega", 16, trials=6, pool_size=8, seed=21, workers=2)
+        long = search_trials("omega", 16, trials=10, pool_size=8, seed=21, workers=2)
+        assert long[:6] == short
+
+
+class TestMapDifferential:
+    """Arm-level map: ordered, chunking-invariant reduction."""
+
+    def test_group_traffic_trials_match_serial(self):
+        params = {
+            "topology": "indirect-binary-cube",
+            "n_ports": 16,
+            "group_size": 4,
+            "n_groups": 3,
+        }
+        serial = run_trials(group_traffic_trial, 8, params=params, seeds=range(7000, 7008))
+        for workers, chunk in ((2, 1), (4, 3)):
+            parallel = run_trials(
+                group_traffic_trial, 8, params=params, seeds=range(7000, 7008),
+                workers=workers, chunk_size=chunk,
+            )
+            assert parallel == serial
+
+    def test_map_preserves_item_order(self):
+        runner = ExperimentRunner(workers=2, chunk_size=2)
+        items = [{"topology": "omega", "n_ports": 16, "value": i} for i in range(7)]
+        out = runner.map(_echo_item, items)
+        assert [r["value"] for r in out] == list(range(7))
+
+    def test_summary_is_pure_function_of_records(self):
+        records = [{"max_multiplicity": m} for m in (3, 1, 4, 1, 5)]
+        assert summarize_multiplicities(records) == summarize_multiplicities(list(records))
+
+
+def _echo_item(item, params):
+    return item
+
+
+def test_runner_rejects_bad_config():
+    with pytest.raises(ValueError):
+        ExperimentRunner(workers=0)
+    with pytest.raises(ValueError):
+        ExperimentRunner(chunk_size=0)
+    with pytest.raises(ValueError):
+        run_trials(_echo_item, 4, seed=1, seeds=[1, 2, 3, 4])
+
+
+def test_run_tasks_empty():
+    assert run_tasks(_echo_item, [], workers=2) == []
