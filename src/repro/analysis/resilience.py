@@ -119,6 +119,8 @@ def availability_over_time(
     retry: "RetryPolicy | None" = _STEADY_RETRY,
     seed: int = 0,
     load: float = 0.6,
+    tracer=None,
+    metrics=None,
 ) -> list[dict[str, float | int | str]]:
     """Experiment E2, live edition: relay-on vs relay-off availability.
 
@@ -141,6 +143,12 @@ def availability_over_time(
     redial (``retry=None``, explicitly) — or with a budget shorter than
     the mean repair — the first unroutable drop is a permanent outage to
     the horizon and availability collapses for *both* variants.
+
+    ``tracer`` / ``metrics`` (optional, see :mod:`repro.obs`) observe
+    both replays: each run opens with an ``experiment.run`` event naming
+    the relay variant, and the shared registry aggregates the two.  Both
+    are pure observation — the rows are byte-identical with or without
+    them.
     """
     net = build(topology, n_ports)
     if conferences is None:
@@ -155,6 +163,7 @@ def availability_over_time(
         stats = _replay_steady(
             topology, n_ports, conferences, timeline, duration,
             dilation=dilation, relay_enabled=relay, retry=retry, seed=seed,
+            tracer=tracer, metrics=metrics,
         )
         row: dict[str, float | int | str] = {
             "topology": topology,
@@ -176,22 +185,34 @@ def _replay_steady(
     relay_enabled: bool,
     retry: "RetryPolicy | None",
     seed: int,
+    tracer=None,
+    metrics=None,
 ):
     """Run one steady-population replay and return its availability stats."""
     network = ConferenceNetwork.build(
         topology, n_ports, dilation=dilation, relay_enabled=relay_enabled
     )
-    healing = SelfHealingController(network, retry=retry, seed=seed)
+    if tracer is not None:
+        tracer.event(
+            "experiment.run",
+            t=0.0,
+            experiment="availability",
+            topology=topology,
+            relay="on" if relay_enabled else "off",
+        )
+    healing = SelfHealingController(
+        network, retry=retry, seed=seed, tracer=tracer, metrics=metrics
+    )
     # Steady conferences want to run to the horizon: a drop's outage
     # window therefore extends to the end of the experiment.
     healing.on_drop = lambda loop, conf: healing.stats.open_outage(
         conf.conference_id, loop.now, duration
     )
-    injector = FaultInjector(network.topology, script=timeline)
+    injector = FaultInjector(network.topology, script=timeline, tracer=tracer)
     healing.attach(injector)
-    loop = EventLoop()
+    loop = EventLoop(tracer=tracer)
     for conference in conferences:
-        healing.try_join(conference)
+        healing.try_join(conference, now=0.0)
     healing.stats.observe(0.0, live=len(healing.live_conferences), degraded=0, down=0)
     injector.start(loop)
     loop.run(until=duration)

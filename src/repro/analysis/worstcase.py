@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.conference import Conference, ConferenceSet
 from repro.core.routing import RoutingPolicy, route_conference
+from repro.obs.metrics import timed
 from repro.topology.network import MultistageNetwork, Point
 from repro.util.bits import ilog2
 from repro.util.rng import ensure_rng
@@ -110,6 +111,7 @@ def radix_cube_adversarial_set(n_ports: int, radix: int, level: int) -> Conferen
     return ConferenceSet.of(n_ports, groups)
 
 
+@timed("repro_exhaustive_search")
 def exhaustive_max_multiplicity(
     net: MultistageNetwork,
     policy: "RoutingPolicy | None" = None,
@@ -155,6 +157,7 @@ def _pair_link_graph(
     return by_link
 
 
+@timed("repro_matching_bound")
 def matching_lower_bound(
     net: MultistageNetwork, policy: "RoutingPolicy | None" = None
 ) -> SearchResult:
@@ -183,6 +186,7 @@ def matching_lower_bound(
     return SearchResult(best_mult, witness, best_link, explored, True)
 
 
+@timed("repro_matching_stage_profile")
 def matching_stage_profile(
     net: MultistageNetwork, policy: "RoutingPolicy | None" = None
 ) -> tuple[int, ...]:
@@ -206,6 +210,7 @@ def matching_stage_profile(
     return tuple(profile)
 
 
+@timed("repro_randomized_search")
 def randomized_search(
     net: MultistageNetwork,
     trials: int = 200,

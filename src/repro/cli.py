@@ -13,6 +13,14 @@ quick interactive inspection of networks and conference routings::
     conference-net faults --ports 32 --count 4 --no-relay
     conference-net availability --topology extra-stage-cube --ports 32
     conference-net sweep --ports 64 --trials 200 --workers 4
+    conference-net trace --ports 16 --out trace.jsonl
+
+Observability: ``availability``, ``faults``, and ``sweep`` accept
+``--trace-out``/``--metrics-out`` to export a JSONL event trace and a
+Prometheus (or JSON) metrics dump alongside their normal output; the
+``trace`` subcommand runs a live fault-injection scenario purely to
+produce those artifacts.  Telemetry is pure observation — results are
+byte-identical with and without the flags.
 """
 
 from __future__ import annotations
@@ -36,6 +44,7 @@ from repro.analysis.worstcase import (
     matching_stage_profile,
 )
 from repro.core.network import ConferenceNetwork
+from repro.obs import MetricsRegistry, Tracer, collecting
 from repro.report.ascii import render_network, render_routes, render_stage_profile
 from repro.report.tables import render_table
 from repro.core.routing import route_conference
@@ -54,11 +63,59 @@ def _floats_list(text: str) -> list[float]:
     return [float(x) for x in text.split(",") if x]
 
 
+def _version() -> str:
+    """Package version: installed metadata first, source tree fallback."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        import repro
+
+        return getattr(repro, "__version__", "unknown")
+
+
+def _add_telemetry_flags(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="write a JSONL event/span trace of the run (pure observation)",
+    )
+    cmd.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write collected metrics (Prometheus text; JSON when PATH ends in .json)",
+    )
+
+
+def _telemetry(args: argparse.Namespace) -> "tuple[Tracer | None, MetricsRegistry | None]":
+    tracer = Tracer() if getattr(args, "trace_out", None) else None
+    registry = MetricsRegistry() if getattr(args, "metrics_out", None) else None
+    return tracer, registry
+
+
+def _write_telemetry(
+    args: argparse.Namespace,
+    tracer: "Tracer | None",
+    registry: "MetricsRegistry | None",
+) -> None:
+    if tracer is not None:
+        n = tracer.write_jsonl(args.trace_out)
+        suffix = " (ring buffer truncated)" if tracer.truncated else ""
+        print(f"trace: {n} records -> {args.trace_out}{suffix}")
+    if registry is not None:
+        registry.write(args.metrics_out)
+        print(f"metrics: {len(registry)} families -> {args.metrics_out}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
         prog="conference-net",
         description="Multistage conference switching networks (ICPP 2002 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -118,6 +175,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="let level-0 input wires fail too (members cut off entirely)",
     )
+    _add_telemetry_flags(faults)
 
     avail = sub.add_parser(
         "availability",
@@ -136,6 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run the stochastic-traffic retry ablation (slower)",
     )
+    _add_telemetry_flags(avail)
 
     sweep = sub.add_parser(
         "sweep",
@@ -179,6 +238,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--pool-size", type=int, default=64, help="worstcase: pairs seeded per trial")
     sweep.add_argument("--json", metavar="PATH", help="also write the full records as JSON")
+    _add_telemetry_flags(sweep)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a live fault-injection scenario and export its trace/metrics",
+    )
+    trace.add_argument("--topology", default="extra-stage-cube", choices=sorted(TOPOLOGY_BUILDERS))
+    trace.add_argument("--ports", type=int, default=16)
+    trace.add_argument("--dilation", type=int, default=4)
+    trace.add_argument("--duration", type=float, default=300.0)
+    trace.add_argument("--mttf", type=float, default=200.0, help="mean time to failure per link")
+    trace.add_argument("--mttr", type=float, default=10.0, help="mean time to repair per link")
+    trace.add_argument("--retries", type=int, default=5, help="retry budget (0 disables retries)")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--capacity", type=int, default=65536, help="trace ring-buffer capacity (records)"
+    )
+    trace.add_argument("--out", metavar="PATH", help="write the trace as JSON Lines")
+    trace.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write collected metrics (Prometheus text; JSON when PATH ends in .json)",
+    )
     return parser
 
 
@@ -257,25 +339,41 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
     net = build(args.topology, args.ports)
     workload = uniform_partition(args.ports, load=args.load, seed=args.seed)
     dead = random_link_faults(
         net, args.count, seed=args.seed, include_injections=args.include_injections
     )
     variants = (True, False) if args.relay is None else (args.relay,)
+    tracer, registry = _telemetry(args)
     rows = []
-    for relay in variants:
-        rep = survivability(net, list(workload), dead, relay_enabled=relay)
-        rows.append(
-            {
-                "relay": "on" if relay else "off",
-                "conferences": rep.n_conferences,
-                "survive": rep.routed,
-                "survival_rate": rep.survival_rate,
-            }
-        )
+    # Collection on means the timed() hook on route_conference records
+    # per-route latency histograms while the survivability scan runs.
+    with collecting(registry) if registry is not None else nullcontext():
+        for relay in variants:
+            rep = survivability(net, list(workload), dead, relay_enabled=relay)
+            if tracer is not None:
+                tracer.event(
+                    "experiment.survivability",
+                    topology=args.topology,
+                    relay="on" if relay else "off",
+                    conferences=rep.n_conferences,
+                    survived=rep.routed,
+                    dead_links=len(dead),
+                )
+            rows.append(
+                {
+                    "relay": "on" if relay else "off",
+                    "conferences": rep.n_conferences,
+                    "survive": rep.routed,
+                    "survival_rate": rep.survival_rate,
+                }
+            )
     print(f"dead links: {sorted(dead)}")
     print(render_table(rows, title=f"survivability ({args.topology}, N={args.ports})"))
+    _write_telemetry(args, tracer, registry)
     return 0
 
 
@@ -290,6 +388,7 @@ def _cmd_availability(args: argparse.Namespace) -> int:
         if args.retries > 0
         else None
     )
+    tracer, registry = _telemetry(args)
     rows = availability_over_time(
         args.topology,
         args.ports,
@@ -298,6 +397,8 @@ def _cmd_availability(args: argparse.Namespace) -> int:
         retry=retry,
         seed=args.seed,
         load=args.load,
+        tracer=tracer,
+        metrics=registry,
     )
     columns = [
         "relay", "conferences", "availability", "degraded_fraction",
@@ -334,6 +435,7 @@ def _cmd_availability(args: argparse.Namespace) -> int:
             columns=columns,
             title="stochastic traffic: bounded backoff vs immediate loss",
         ))
+    _write_telemetry(args, tracer, registry)
     return 0
 
 
@@ -343,6 +445,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.parallel.experiments import random_load_arm, search_trials, reduce_search_records
 
     engine = f"workers={args.workers}" if args.workers else "serial engine"
+    tracer, registry = _telemetry(args)
     payload: dict = {
         "experiment": args.experiment,
         "topology": args.topology,
@@ -366,9 +469,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 workers=args.workers,
                 chunk_size=args.chunk_size,
+                metrics=registry,
                 **kwargs,
             )
             arms[str(load)] = arm
+            if tracer is not None:
+                tracer.event(
+                    "sweep.arm",
+                    experiment="random-load",
+                    workload=args.workload,
+                    load=load,
+                    trials=args.trials,
+                    **arm["summary"],
+                )
             rows.append({"workload": args.workload, "load": load, **arm["summary"]})
         print(render_table(
             rows,
@@ -385,8 +498,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             seed=args.seed,
             workers=args.workers,
             chunk_size=args.chunk_size,
+            metrics=registry,
         )
         result = reduce_search_records(records, args.ports)
+        if tracer is not None:
+            tracer.event(
+                "sweep.arm",
+                experiment="worstcase",
+                trials=args.trials,
+                multiplicity=result.multiplicity,
+                link=result.link,
+            )
         witness = [list(c.members) for c in result.witness] if result.witness else []
         print(
             f"worst multiplicity found: {result.multiplicity} on link {result.link} "
@@ -403,6 +525,51 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         with open(args.json, "w") as fh:
             _json.dump(payload, fh, indent=2, sort_keys=True)
         print(f"records written to {args.json}")
+    _write_telemetry(args, tracer, registry)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.sim.faults import FaultProcessConfig
+    from repro.sim.scenarios import run_availability
+
+    process = FaultProcessConfig(
+        mean_time_to_failure=args.mttf, mean_time_to_repair=args.mttr
+    )
+    retry = RetryPolicy(max_retries=args.retries) if args.retries > 0 else None
+    tracer = Tracer(capacity=args.capacity)
+    registry = MetricsRegistry() if args.metrics_out else None
+    run = run_availability(
+        args.topology,
+        args.ports,
+        dilation=args.dilation,
+        process=process,
+        retry=retry,
+        duration=args.duration,
+        seed=args.seed,
+        tracer=tracer,
+        metrics=registry,
+    )
+    tracer.flush_open_spans(t=args.duration)
+    counts = tracer.counts()
+    rows = [{"record": name, "count": counts[name]} for name in sorted(counts)]
+    print(render_table(
+        rows,
+        title=f"trace of one availability run ({args.topology}, N={args.ports}, "
+        f"T={args.duration})",
+    ))
+    summary = run.summary()
+    print(
+        f"\n{tracer.emitted} records emitted"
+        + (f" ({len(tracer)} retained, ring truncated)" if tracer.truncated else "")
+        + f"; availability={summary.get('availability', 1.0):.4f}"
+    )
+    if args.out:
+        n = tracer.write_jsonl(args.out)
+        print(f"trace: {n} records -> {args.out}")
+    if args.metrics_out:
+        registry.write(args.metrics_out)
+        print(f"metrics: {len(registry)} families -> {args.metrics_out}")
     return 0
 
 
@@ -416,6 +583,7 @@ _COMMANDS = {
     "faults": _cmd_faults,
     "availability": _cmd_availability,
     "sweep": _cmd_sweep,
+    "trace": _cmd_trace,
 }
 
 

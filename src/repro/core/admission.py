@@ -150,11 +150,14 @@ class AdmissionController:
     drives.
     """
 
-    def __init__(self, network: ConferenceNetwork):
+    def __init__(self, network: ConferenceNetwork, tracer=None):
         self._network = network
         self._loads: Counter = Counter()
         self._routes: dict[int, Route] = {}
         self._ports_in_use: set[int] = set()
+        # Observation only (duck-typed repro.obs.trace.Tracer): ledger
+        # changes emit admission.admit/deny/leave/replace events.
+        self.tracer = tracer
 
     @property
     def network(self) -> ConferenceNetwork:
@@ -178,6 +181,21 @@ class AdmissionController:
     def peak_load(self) -> int:
         """The worst current link load (0 when idle)."""
         return max(self._loads.values(), default=0)
+
+    def stage_loads(self) -> dict[int, list[int]]:
+        """Nonzero channel loads per entering level, in row order.
+
+        The raw material of the per-stage link-occupancy telemetry: key
+        ``t`` lists the load of every occupied link entering level
+        ``t``, so ``max`` of a value is the *observed* conflict
+        multiplicity at that stage — the paper's headline quantity,
+        live.
+        """
+        out: dict[int, list[int]] = {}
+        for (level, _row), load in sorted(self._loads.items()):
+            if load > 0:
+                out.setdefault(level, []).append(load)
+        return out
 
     def route_of(self, conference_id: int) -> Route:
         """The live route of one admitted conference."""
@@ -207,22 +225,33 @@ class AdmissionController:
         """
         conference = route.conference
         if conference.conference_id in self._routes:
+            self._trace_deny(conference.conference_id, "ports")
             raise AdmissionDenied(
                 "ports", f"conference id {conference.conference_id} already live"
             )
         clash = self._ports_in_use.intersection(conference.members)
         if clash:
+            self._trace_deny(conference.conference_id, "ports")
             raise AdmissionDenied("ports", f"ports {sorted(clash)} already in a conference")
         cap = self._network.dilation
         for link in route.links:
             if self._loads[link] + 1 > cap:
+                self._trace_deny(conference.conference_id, "capacity")
                 raise AdmissionDenied(
                     "capacity", f"link {link} at load {self._loads[link]}/{cap}"
                 )
         self._loads.update(route.links)
         self._routes[conference.conference_id] = route
         self._ports_in_use.update(conference.members)
+        if self.tracer is not None:
+            self.tracer.event(
+                "admission.admit", cid=conference.conference_id, links=route.n_links
+            )
         return route
+
+    def _trace_deny(self, cid: int, reason: str) -> None:
+        if self.tracer is not None:
+            self.tracer.event("admission.deny", cid=cid, reason=reason)
 
     def replace_route(self, conference_id: int, new_route: Route) -> Route:
         """Atomically swing a live conference onto a new route.
@@ -237,10 +266,12 @@ class AdmissionController:
         new_ports = set(new_route.conference.members)
         clash = (self._ports_in_use - old.conference.member_set) & new_ports
         if clash:
+            self._trace_deny(conference_id, "ports")
             raise AdmissionDenied("ports", f"ports {sorted(clash)} already in a conference")
         cap = self._network.dilation
         for link in new_route.links - old.links:
             if self._loads[link] + 1 > cap:
+                self._trace_deny(conference_id, "capacity")
                 raise AdmissionDenied(
                     "capacity", f"link {link} at load {self._loads[link]}/{cap}"
                 )
@@ -250,6 +281,13 @@ class AdmissionController:
         self._routes[conference_id] = new_route
         self._ports_in_use.difference_update(old.conference.members)
         self._ports_in_use.update(new_ports)
+        if self.tracer is not None:
+            self.tracer.event(
+                "admission.replace",
+                cid=conference_id,
+                added=len(new_route.links - old.links),
+                released=len(old.links - new_route.links),
+            )
         return new_route
 
     def leave(self, conference_id: int) -> None:
@@ -261,6 +299,8 @@ class AdmissionController:
         self._loads.subtract(route.links)
         self._loads += Counter()  # drop zero/negative entries
         self._ports_in_use.difference_update(route.conference.members)
+        if self.tracer is not None:
+            self.tracer.event("admission.leave", cid=conference_id)
 
     def snapshot(self) -> ConferenceSet:
         """The live conferences as a validated :class:`ConferenceSet`."""

@@ -42,12 +42,19 @@ The controller is deliberately loop-agnostic: it only ever calls
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 from repro.core.admission import AdmissionController, AdmissionDenied
 from repro.core.conference import Conference, ConferenceSet
 from repro.core.network import ConferenceNetwork
 from repro.core.routing import Route, UnroutableError
+from repro.obs.metrics import DEFAULT_OCCUPANCY_BUCKETS
+
+# Safe at module level: ``repro.sim``'s package __init__ resolves its
+# exports lazily (PEP 562), so importing the metrics leaf does not pull
+# ``repro.sim.scenarios`` (which imports this module) back in.
+from repro.sim.metrics import AvailabilityStats
 from repro.topology.network import Point
 from repro.util.rng import ensure_rng
 from repro.util.validation import check_positive
@@ -55,14 +62,13 @@ from repro.util.validation import check_positive
 if TYPE_CHECKING:  # pragma: no cover - annotations only
     import numpy as np
 
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import Tracer
     from repro.parallel.cache import RouteCache
     from repro.sim.engine import EventLoop
     from repro.sim.faults import FaultTransition
-    from repro.sim.metrics import AvailabilityStats
 
 __all__ = ["RetryPolicy", "SelfHealingController"]
-
-from dataclasses import dataclass
 
 
 @dataclass(frozen=True)
@@ -99,6 +105,16 @@ class RetryPolicy:
         return base
 
 
+#: Help strings of the controller's counter families (attached on first use).
+_COUNTER_HELP = {
+    "repro_admissions_total": "Conference admission attempts by outcome",
+    "repro_retries_total": "Retry queue activity by outcome",
+    "repro_fault_transitions_total": "Fault transitions handled, by kind",
+    "repro_heals_total": "Degradation-ladder actions taken, by action",
+    "repro_drops_total": "Live conferences dropped, by cause",
+}
+
+
 DropListener = Callable[["EventLoop", Conference], None]
 RestoreListener = Callable[["EventLoop", Route], None]
 LostListener = Callable[["EventLoop", Conference, str], None]
@@ -122,6 +138,13 @@ class SelfHealingController:
     lookups by the explicit fault set in force, so cached healthy
     routes are never reused across a fault transition — behaviour is
     bit-identical with and without the cache, only faster.
+
+    ``tracer`` / ``metrics`` attach observability (see :mod:`repro.obs`):
+    the tracer receives per-conference submit/admit/reroute/drop spans
+    and retry/degrade events, the registry accumulates admission/heal
+    counters plus per-stage link-occupancy histograms and observed
+    conflict-multiplicity gauges.  Both are pure observation — decisions
+    and RNG streams are identical with or without them.
     """
 
     def __init__(
@@ -131,12 +154,10 @@ class SelfHealingController:
         stats: "AvailabilityStats | None" = None,
         seed: "int | np.random.Generator | None" = None,
         route_cache: "RouteCache | None" = None,
+        tracer: "Tracer | None" = None,
+        metrics: "MetricsRegistry | None" = None,
     ):
         if stats is None:
-            # Imported lazily: repro.sim pulls this module in via the
-            # scenarios, so a top-level import would be circular.
-            from repro.sim.metrics import AvailabilityStats
-
             stats = AvailabilityStats()
         if route_cache is not None:
             topo = network.topology
@@ -146,9 +167,15 @@ class SelfHealingController:
                 raise ValueError("route cache is bound to a different routing policy")
         self._cache = route_cache
         self._network = network
-        self._inner = AdmissionController(network)
+        self._inner = AdmissionController(network, tracer=tracer)
         self._retry = retry
         self._stats = stats
+        # Observation only: both default to None and every emission site
+        # is gated on that, so instrumented and bare runs make identical
+        # decisions and draw identical RNG streams (see tests/obs).
+        self.tracer = tracer
+        self._metrics = metrics
+        self._drop_spans: dict[int, int] = {}  # cid -> open conference.drop span
         self._rng = ensure_rng(seed)
         self._faults: set[Point] = set()
         self._healthy: dict[int, Route] = {}  # cid -> fault-free reference route
@@ -230,15 +257,48 @@ class SelfHealingController:
 
     # -- admission under faults --------------------------------------------
 
-    def try_join(self, conference: "Conference | list[int] | tuple[int, ...]") -> Route:
+    def try_join(
+        self,
+        conference: "Conference | list[int] | tuple[int, ...]",
+        now: "float | None" = None,
+    ) -> Route:
         """Admit a conference routed around the current fault set.
 
         Raises :class:`AdmissionDenied` with reason ``"ports"``,
         ``"capacity"``, or — new here — ``"fault"`` when no surviving
-        route exists at all.
+        route exists at all.  ``now`` (simulation time, when the caller
+        knows it) only timestamps the trace span.
         """
         if not isinstance(conference, Conference):
             conference = Conference.of(conference)
+        tr = self.tracer
+        sid = None
+        if tr is not None:
+            sid = tr.span_open(
+                "conference.submit",
+                t=now,
+                cid=conference.conference_id,
+                size=len(conference.members),
+            )
+        try:
+            route = self._admit(conference)
+        except AdmissionDenied as denial:
+            if sid is not None:
+                tr.span_close(sid, t=now, status="denied", reason=denial.reason)
+            self._count("repro_admissions_total", outcome=denial.reason)
+            raise
+        if sid is not None:
+            tr.span_close(
+                sid,
+                t=now,
+                status="admitted",
+                links=route.n_links,
+                degraded=conference.conference_id in self._degraded,
+            )
+        self._count("repro_admissions_total", outcome="admitted")
+        return route
+
+    def _admit(self, conference: Conference) -> Route:
         clash = self._inner.ports_in_use & conference.member_set
         if clash:
             raise AdmissionDenied("ports", f"ports {sorted(clash)} already in a conference")
@@ -280,14 +340,17 @@ class SelfHealingController:
 
     def _attempt_submit(self, loop, conference, on_admitted, on_lost, attempt):
         try:
-            route = self.try_join(conference)
+            route = self.try_join(conference, now=loop.now)
         except AdmissionDenied as denial:
             if self._retry is None:
+                self._trace_lost(loop, conference, denial.reason)
                 if on_lost:
                     on_lost(loop, conference, denial.reason)
                 return None
             if attempt >= self._retry.max_retries:
                 self._stats.retries_exhausted += 1
+                self._count("repro_retries_total", outcome="exhausted")
+                self._trace_lost(loop, conference, "retry-exhausted")
                 if on_lost:
                     on_lost(loop, conference, "retry-exhausted")
                 return None
@@ -295,18 +358,28 @@ class SelfHealingController:
                 loop,
                 attempt,
                 lambda lp: self._attempt_submit(lp, conference, on_admitted, on_lost, attempt + 1),
+                cid=conference.conference_id,
             )
             return None
         if attempt > 0:
             self._stats.retries_succeeded += 1
+            self._count("repro_retries_total", outcome="succeeded")
         if on_admitted:
             on_admitted(loop, route)
         self._observe(loop.now)
         return route
 
-    def _schedule_retry(self, loop, attempt: int, action) -> None:
+    def _schedule_retry(self, loop, attempt: int, action, cid: "int | None" = None) -> None:
         self._stats.retries_scheduled += 1
-        loop.schedule(self._retry.delay(attempt, self._rng), action)
+        # Draw the delay before tracing so the RNG call sequence is the
+        # same with and without a tracer attached.
+        delay = self._retry.delay(attempt, self._rng)
+        if self.tracer is not None:
+            self.tracer.event(
+                "conference.retry", t=loop.now, cid=cid, attempt=attempt, delay=delay
+            )
+        self._count("repro_retries_total", outcome="scheduled")
+        loop.schedule(delay, action)
 
     # -- fault transitions -------------------------------------------------
 
@@ -328,6 +401,7 @@ class SelfHealingController:
             return
         self._faults.add(point)
         self._stats.record_link_failed(loop.now, point)
+        self._count("repro_fault_transitions_total", kind="fail")
         faults = frozenset(self._faults)
         for cid in sorted(self._inner.live_conferences):
             old = self._inner.route_of(cid)
@@ -344,6 +418,7 @@ class SelfHealingController:
             return
         self._faults.discard(point)
         self._stats.record_link_repaired(loop.now, point)
+        self._count("repro_fault_transitions_total", kind="repair")
         faults = frozenset(self._faults)
         for cid in sorted(self._degraded):
             cur = self._inner.route_of(cid)
@@ -353,9 +428,9 @@ class SelfHealingController:
                 continue
             if new == cur:
                 continue
-            if not self._swap(cid, cur, new):
+            if not self._swap(cid, cur, new, now=loop.now):
                 continue  # no capacity for the better route yet
-            self._update_degraded(cid, new)
+            self._update_degraded(cid, new, now=loop.now)
         self._observe(loop.now)
 
     def _heal(self, loop, cid: int, old: Route, faults: frozenset) -> None:
@@ -364,13 +439,14 @@ class SelfHealingController:
         except UnroutableError:
             self._drop(loop, cid, "fault")
             return
-        if new != old and not self._swap(cid, old, new):
+        if new != old and not self._swap(cid, old, new, now=loop.now):
             self._drop(loop, cid, "capacity")
             return
-        self._update_degraded(cid, new)
+        self._update_degraded(cid, new, now=loop.now)
 
-    def _swap(self, cid: int, old: Route, new: Route) -> bool:
+    def _swap(self, cid: int, old: Route, new: Route, now: "float | None" = None) -> bool:
         """Apply one ladder step; returns False when capacity refuses it."""
+        tr = self.tracer
         added = new.links - old.links
         if not added:
             # Pure output-mux re-selection (plus possibly releasing
@@ -380,15 +456,27 @@ class SelfHealingController:
                 1 for p in old.conference.members if old.taps[p] != new.taps[p]
             )
             self._stats.record_tap_move(moved)
+            if tr is not None:
+                tr.event("conference.tap_move", t=now, cid=cid, moved=moved)
+            self._count("repro_heals_total", action="tap_move")
             return True
+        sid = tr.span_open("conference.reroute", t=now, cid=cid) if tr is not None else None
         try:
             self._inner.replace_route(cid, new)
         except AdmissionDenied:
+            if sid is not None:
+                tr.span_close(sid, t=now, status="denied")
+            self._count("repro_heals_total", action="reroute-denied")
             return False
-        self._stats.record_reroute(len(added) + len(old.links - new.links))
+        touched = len(added) + len(old.links - new.links)
+        if sid is not None:
+            tr.span_close(sid, t=now, status="ok", links_touched=touched)
+        self._stats.record_reroute(touched)
+        self._count("repro_heals_total", action="reroute")
         return True
 
-    def _update_degraded(self, cid: int, route: Route) -> None:
+    def _update_degraded(self, cid: int, route: Route, now: "float | None" = None) -> None:
+        was = cid in self._degraded
         healthy = self._healthy.get(cid)
         if healthy is None:  # pragma: no cover - defensive
             healthy = self._healthy[cid] = self._route(route.conference)
@@ -396,6 +484,10 @@ class SelfHealingController:
             self._degraded.discard(cid)
         else:
             self._degraded.add(cid)
+        if self.tracer is not None and (cid in self._degraded) != was:
+            self.tracer.event(
+                "conference.recover" if was else "conference.degrade", t=now, cid=cid
+            )
 
     # -- drops and restores ------------------------------------------------
 
@@ -405,17 +497,25 @@ class SelfHealingController:
         self._healthy.pop(cid, None)
         self._degraded.discard(cid)
         self._stats.record_drop(cause)
+        self._count("repro_drops_total", cause=cause)
+        if self.tracer is not None:
+            # The drop span stays open across the outage; it closes at
+            # restore ("restored") or when retries run out ("lost").
+            self._drop_spans[cid] = self.tracer.span_open(
+                "conference.drop", t=loop.now, cid=cid, cause=cause
+            )
         conference = route.conference
         if self.on_drop:
             self.on_drop(loop, conference)  # opens the outage window
         if self._retry is None:
             self._stats.abandon_outage(cid)
+            self._close_drop_span(cid, loop.now, "lost")
             if self.on_lost:
                 self.on_lost(loop, conference, cause)
             return
         self._down[cid] = conference
         self._schedule_retry(
-            loop, 0, lambda lp: self._attempt_restore(lp, conference, attempt=1)
+            loop, 0, lambda lp: self._attempt_restore(lp, conference, attempt=1), cid=cid
         )
 
     def _attempt_restore(self, loop, conference: Conference, attempt: int) -> None:
@@ -423,28 +523,53 @@ class SelfHealingController:
         if cid not in self._down:  # pragma: no cover - defensive
             return
         try:
-            route = self.try_join(conference)
+            route = self.try_join(conference, now=loop.now)
         except AdmissionDenied:
             if attempt >= self._retry.max_retries:
                 del self._down[cid]
                 self._stats.retries_exhausted += 1
+                self._count("repro_retries_total", outcome="exhausted")
                 self._stats.abandon_outage(cid)
+                self._close_drop_span(cid, loop.now, "lost")
                 if self.on_lost:
                     self.on_lost(loop, conference, "retry-exhausted")
                 self._observe(loop.now)
                 return
             self._schedule_retry(
-                loop, attempt, lambda lp: self._attempt_restore(lp, conference, attempt + 1)
+                loop,
+                attempt,
+                lambda lp: self._attempt_restore(lp, conference, attempt + 1),
+                cid=cid,
             )
             return
         del self._down[cid]
         self._stats.retries_succeeded += 1
+        self._count("repro_retries_total", outcome="succeeded")
         self._stats.close_outage(cid, loop.now)
+        self._close_drop_span(cid, loop.now, "restored")
         if self.on_restore:
             self.on_restore(loop, route)
         self._observe(loop.now)
 
+    def _close_drop_span(self, cid: int, now: "float | None", status: str) -> None:
+        sid = self._drop_spans.pop(cid, None)
+        if sid is not None:
+            self.tracer.span_close(sid, t=now, status=status)
+
+    def _trace_lost(self, loop, conference: Conference, reason: str) -> None:
+        if self.tracer is not None:
+            self.tracer.event(
+                "conference.lost",
+                t=loop.now,
+                cid=conference.conference_id,
+                reason=reason,
+            )
+
     # -- accounting --------------------------------------------------------
+
+    def _count(self, name: str, **labels) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(name, _COUNTER_HELP.get(name, "")).inc(**labels)
 
     def _observe(self, now: float) -> None:
         self._stats.observe(
@@ -453,6 +578,29 @@ class SelfHealingController:
             degraded=len(self._degraded),
             down=len(self._down),
         )
+        reg = self._metrics
+        if reg is None:
+            return
+        peak = reg.gauge(
+            "repro_conferences_peak", "Peak concurrent conferences by state"
+        )
+        peak.set_max(len(self._inner.live_conferences), state="live")
+        peak.set_max(len(self._degraded), state="degraded")
+        peak.set_max(len(self._down), state="down")
+        occupancy = reg.histogram(
+            "repro_link_occupancy",
+            "Channel load of each occupied inter-stage link per observation, by entering stage",
+            buckets=DEFAULT_OCCUPANCY_BUCKETS,
+        )
+        multiplicity = reg.gauge(
+            "repro_conflict_multiplicity",
+            "Peak observed conflict multiplicity (max link load) per entering stage",
+        )
+        for level, loads in self._inner.stage_loads().items():
+            stage = str(level)
+            for load in loads:
+                occupancy.observe(load, stage=stage)
+            multiplicity.set_max(max(loads), stage=stage)
 
     def finalize(self, now: float) -> None:
         """Close the availability integrals at the simulation horizon."""

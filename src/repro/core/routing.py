@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from enum import Enum
 
 from repro.core.conference import Conference
+from repro.obs.metrics import timed
 from repro.topology.network import MultistageNetwork, Point
 
 __all__ = [
@@ -313,6 +314,7 @@ def _prune(
     return work
 
 
+@timed("repro_route_conference")
 def route_conference(
     net: MultistageNetwork,
     conference: Conference,

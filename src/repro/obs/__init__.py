@@ -1,0 +1,52 @@
+"""Observability: structured tracing, metrics, and profiling hooks.
+
+Everything in this package is zero-dependency, off by default, and
+**bit-transparent**: attaching a :class:`~repro.obs.trace.Tracer` or a
+:class:`~repro.obs.metrics.MetricsRegistry` to any component changes no
+routing or admission decision and touches no RNG stream — the
+transparency suite under ``tests/obs`` holds instrumented and plain
+runs byte-equal.
+
+Entry points:
+
+* :class:`Tracer` — ring-buffered span/event records with simulation
+  and wall clocks, exported as JSON Lines (``conference-net trace``,
+  ``--trace-out``).
+* :class:`MetricsRegistry` — labelled counters/gauges/histograms with
+  Prometheus text and JSON exposition plus a deterministic cross-process
+  merge (``--metrics-out``; merged by the parallel runner).
+* :func:`timed` — context manager / decorator feeding ``*_seconds``
+  histograms; installed on the hot routing paths and enabled per
+  process via :func:`collecting`.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_OCCUPANCY_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collecting,
+    collection_enabled,
+    default_registry,
+    maybe_registry,
+    timed,
+)
+from repro.obs.trace import NULL_TRACER, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_OCCUPANCY_BUCKETS",
+    "DEFAULT_TIME_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "Tracer",
+    "collecting",
+    "collection_enabled",
+    "default_registry",
+    "maybe_registry",
+    "timed",
+]

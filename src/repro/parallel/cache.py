@@ -27,6 +27,7 @@ executes reuses them.
 from __future__ import annotations
 
 from collections import OrderedDict
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import TYPE_CHECKING
@@ -64,6 +65,39 @@ class CacheStats:
         """Fraction of lookups answered from the cache (0 when unused)."""
         return self.hits / self.requests if self.requests else 0.0
 
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """The combined accounting of two caches, as a new instance.
+
+        Field-wise addition; ``hit_rate`` of the result is therefore the
+        request-weighted aggregate, which is what a sharded sweep wants
+        to report for its per-worker caches.
+        """
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+            unroutable=self.unroutable + other.unroutable,
+        )
+
+    @classmethod
+    def merged(cls, many: "Iterable[CacheStats]") -> "CacheStats":
+        """Fold any number of per-worker stats into one total."""
+        total = cls()
+        for stats in many:
+            total = total.merge(stats)
+        return total
+
+    def as_dict(self) -> dict:
+        """A plain-dict view (picklable; includes the derived fields)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "unroutable": self.unroutable,
+            "requests": self.requests,
+            "hit_rate": self.hit_rate,
+        }
+
 
 class RouteCache:
     """LRU memoization of :func:`~repro.core.routing.route_conference`.
@@ -80,6 +114,7 @@ class RouteCache:
         network: MultistageNetwork,
         policy: "RoutingPolicy | None" = None,
         maxsize: int = 4096,
+        tracer=None,
     ):
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
@@ -89,6 +124,9 @@ class RouteCache:
         self._entries: "OrderedDict[tuple, tuple | UnroutableError]" = OrderedDict()
         self._faults: frozenset[Point] = _NO_FAULTS
         self.stats = CacheStats()
+        # Observation only (duck-typed repro.obs.trace.Tracer): lookups
+        # emit cache.hit / cache.miss, context moves cache.invalidate.
+        self.tracer = tracer
 
     # -- introspection -----------------------------------------------------
 
@@ -125,6 +163,8 @@ class RouteCache:
         be returned for the current one — the key namespace moved.
         """
         self._faults = frozenset(faults) if faults else _NO_FAULTS
+        if self.tracer is not None:
+            self.tracer.event("cache.invalidate", dead=len(self._faults))
 
     def attach(self, injector: "FaultInjector") -> None:
         """Follow a live fault injector's transitions."""
@@ -159,6 +199,10 @@ class RouteCache:
         if entry is not None:
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            if self.tracer is not None:
+                self.tracer.event(
+                    "cache.hit", cid=conference.conference_id, faults=len(key_faults)
+                )
             if isinstance(entry, UnroutableError):
                 raise UnroutableError(*entry.args)
             levels, taps = entry
@@ -170,6 +214,10 @@ class RouteCache:
                 taps=taps,
             )
         self.stats.misses += 1
+        if self.tracer is not None:
+            self.tracer.event(
+                "cache.miss", cid=conference.conference_id, faults=len(key_faults)
+            )
         try:
             route = route_conference(
                 self._network, conference, self._policy, faults=key_faults or None

@@ -32,6 +32,7 @@ import numpy as np
 from repro.core.conference import Conference, ConferenceSet
 from repro.core.conflict import analyze_conflicts
 from repro.core.network import ConferenceNetwork
+from repro.obs.metrics import DEFAULT_OCCUPANCY_BUCKETS, maybe_registry
 from repro.parallel.cache import shared_network, shared_route_cache
 from repro.parallel.runner import ExperimentRunner, NetworkSpec
 from repro.sim.scenarios import run_traffic
@@ -67,8 +68,26 @@ def _runner(params: "dict | None" = None, **overrides) -> ExperimentRunner:
     if "topology" in opts and "n_ports" in opts:
         warm = (NetworkSpec(opts["topology"], opts["n_ports"]),)
     return ExperimentRunner(
-        workers=opts.get("workers"), chunk_size=opts.get("chunk_size"), warm=warm
+        workers=opts.get("workers"),
+        chunk_size=opts.get("chunk_size"),
+        warm=warm,
+        metrics=opts.get("metrics"),
     )
+
+
+def _record_trial(kind: str, multiplicity: int) -> None:
+    """Gated kernel telemetry: a no-op unless the chunk runs metered."""
+    registry = maybe_registry()
+    if registry is None:
+        return
+    registry.counter("repro_trials_total", "Experiment kernel trials executed").inc(
+        kind=kind
+    )
+    registry.histogram(
+        "repro_trial_multiplicity",
+        "Peak conflict multiplicity found per kernel trial",
+        buckets=DEFAULT_OCCUPANCY_BUCKETS,
+    ).observe(multiplicity, kind=kind)
 
 
 # -- F1: required dilation under random traffic ----------------------------
@@ -82,6 +101,7 @@ def random_load_trial(index: int, seed, params: dict) -> dict:
     conferences = generate(params["n_ports"], seed=seed, **kwargs)
     routes = [cache.route(conf) for conf in conferences]
     report = analyze_conflicts(routes, n_stages=cache.network.n_stages)
+    _record_trial("random_load", int(report.max_multiplicity))
     return {
         "trial": index,
         "max_multiplicity": int(report.max_multiplicity),
@@ -109,6 +129,7 @@ def random_load_arm(
     seeds: "Sequence[int | np.random.SeedSequence] | None" = None,
     workers: "int | None" = None,
     chunk_size: "int | None" = None,
+    metrics=None,
     **generator_kwargs,
 ) -> dict:
     """One sweep cell: ``trials`` random sets on one topology/workload.
@@ -116,7 +137,9 @@ def random_load_arm(
     Returns ``{"records": [per-trial dicts], "summary": {mean, p95,
     max}}``.  Passing ``seeds=[base + i ...]`` reproduces the legacy
     serial benchmarks byte-for-byte; passing ``seed`` engages the
-    spawned seed stream.
+    spawned seed stream.  ``metrics`` (a
+    :class:`~repro.obs.metrics.MetricsRegistry`) turns on worker-side
+    collection; records are identical either way.
     """
     if workload not in WORKLOAD_GENERATORS:
         known = ", ".join(sorted(WORKLOAD_GENERATORS))
@@ -127,7 +150,7 @@ def random_load_arm(
         "workload": workload,
         "generator_kwargs": generator_kwargs,
     }
-    runner = _runner(params, workers=workers, chunk_size=chunk_size)
+    runner = _runner(params, workers=workers, chunk_size=chunk_size, metrics=metrics)
     records = runner.run_trials(random_load_trial, trials, params=params, seed=seed, seeds=seeds)
     return {"records": records, "summary": summarize_multiplicities(records)}
 
@@ -158,6 +181,7 @@ def search_trial(index: int, seed, params: dict) -> dict:
         links_of[pair] = links
         loads.update(links)
     if not loads:
+        _record_trial("search", 0)
         return {"trial": index, "multiplicity": 0, "link": None, "groups": []}
     target, _ = max(loads.items(), key=lambda kv: kv[1])
     keep = [p for p in pairs if target in links_of[p]]
@@ -173,6 +197,7 @@ def search_trial(index: int, seed, params: dict) -> dict:
             if target in cache.route(Conference.of(pair)).links:
                 keep.append(pair)
                 used.update(pair)
+    _record_trial("search", len(keep))
     return {
         "trial": index,
         "multiplicity": len(keep),
@@ -190,6 +215,7 @@ def search_trials(
     seed: "int | None" = 0,
     workers: "int | None" = None,
     chunk_size: "int | None" = None,
+    metrics=None,
 ) -> list[dict]:
     """Per-trial records of the sharded randomized search, trial order."""
     params = {
@@ -198,7 +224,7 @@ def search_trials(
         "pool_size": pool_size,
         "policy": policy,
     }
-    runner = _runner(params, workers=workers, chunk_size=chunk_size)
+    runner = _runner(params, workers=workers, chunk_size=chunk_size, metrics=metrics)
     return runner.run_trials(search_trial, trials, params=params, seed=seed)
 
 
@@ -232,6 +258,7 @@ def randomized_search_parallel(
     seed: "int | None" = 0,
     workers: "int | None" = None,
     chunk_size: "int | None" = None,
+    metrics=None,
 ):
     """Sharded randomized worst-case search; see ``randomized_search``."""
     records = search_trials(
@@ -243,6 +270,7 @@ def randomized_search_parallel(
         seed=seed,
         workers=workers,
         chunk_size=chunk_size,
+        metrics=metrics,
     )
     return reduce_search_records(records, n_ports)
 

@@ -33,6 +33,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry, collecting
 from repro.parallel.cache import shared_network, shared_route_cache
 from repro.parallel.seeds import chunk_tasks, trial_seeds
 from repro.topology.builders import TOPOLOGY_BUILDERS
@@ -89,6 +90,23 @@ def _run_task_chunk(fn: Callable, chunk: list, params: "dict | None") -> list:
     return [fn(item, params) for item in chunk]
 
 
+def _run_metered_chunk(
+    chunk_fn: Callable, fn: Callable, chunk: list, params: "dict | None"
+) -> tuple:
+    """Run one chunk with metrics collection on; ship back the delta.
+
+    Executes in the worker process (or inline): :func:`collecting`
+    swaps in a fresh per-process default registry for the duration of
+    the chunk, so the returned snapshot is exactly this chunk's
+    recordings — the reducer merges the snapshots in chunk-submission
+    order, which keeps the combined registry identical for every worker
+    count and chunk size.
+    """
+    with collecting() as registry:
+        batch = chunk_fn(fn, chunk, params)
+    return batch, registry.snapshot()
+
+
 class ExperimentRunner:
     """Deterministic sharded execution of experiment workloads.
 
@@ -103,6 +121,13 @@ class ExperimentRunner:
         roughly four chunks per worker.  Also result-invariant.
     warm:
         Network specs every worker prebuilds from its initializer.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`.  When set,
+        every chunk runs with process-wide collection enabled (so
+        ``timed()`` hooks and kernel instrumentation record) and its
+        delta snapshot is merged back here in chunk-submission order —
+        the merged registry is identical for any worker count.  Trial
+        *results* are unaffected either way.
     """
 
     def __init__(
@@ -110,6 +135,7 @@ class ExperimentRunner:
         workers: "int | None" = None,
         chunk_size: "int | None" = None,
         warm: "Sequence[NetworkSpec] | None" = None,
+        metrics: "MetricsRegistry | None" = None,
     ):
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1 (or None for inline), got {workers}")
@@ -118,6 +144,7 @@ class ExperimentRunner:
         self.workers = workers
         self.chunk_size = chunk_size
         self.warm = tuple(warm or ())
+        self.metrics = metrics
 
     def _resolve_chunk_size(self, n_tasks: int) -> int:
         if self.chunk_size is not None:
@@ -129,18 +156,37 @@ class ExperimentRunner:
         if not tasks:
             return []
         chunks = chunk_tasks(tasks, self._resolve_chunk_size(len(tasks)))
+        metered = self.metrics is not None
         if self.workers is None:
-            batches = [chunk_fn(fn, chunk, params) for chunk in chunks]
+            if metered:
+                outputs = [_run_metered_chunk(chunk_fn, fn, chunk, params) for chunk in chunks]
+            else:
+                batches = [chunk_fn(fn, chunk, params) for chunk in chunks]
         else:
             with ProcessPoolExecutor(
                 max_workers=self.workers,
                 initializer=_warm_worker if self.warm else None,
                 initargs=(self.warm,) if self.warm else (),
             ) as pool:
-                futures = [pool.submit(chunk_fn, fn, chunk, params) for chunk in chunks]
+                if metered:
+                    futures = [
+                        pool.submit(_run_metered_chunk, chunk_fn, fn, chunk, params)
+                        for chunk in chunks
+                    ]
+                else:
+                    futures = [pool.submit(chunk_fn, fn, chunk, params) for chunk in chunks]
                 # Collect in submission order — the deterministic
                 # reduction that makes worker scheduling invisible.
-                batches = [f.result() for f in futures]
+                outputs_or_batches = [f.result() for f in futures]
+                if metered:
+                    outputs = outputs_or_batches
+                else:
+                    batches = outputs_or_batches
+        if metered:
+            batches = []
+            for batch, snapshot in outputs:
+                batches.append(batch)
+                self.metrics.merge(snapshot)
         return [result for batch in batches for result in batch]
 
     def run_trials(
@@ -179,9 +225,12 @@ def run_trials(
     workers: "int | None" = None,
     chunk_size: "int | None" = None,
     warm: "Sequence[NetworkSpec] | None" = None,
+    metrics: "MetricsRegistry | None" = None,
 ) -> list:
     """One-shot form of :meth:`ExperimentRunner.run_trials`."""
-    runner = ExperimentRunner(workers=workers, chunk_size=chunk_size, warm=warm)
+    runner = ExperimentRunner(
+        workers=workers, chunk_size=chunk_size, warm=warm, metrics=metrics
+    )
     return runner.run_trials(fn, n_trials, params=params, seed=seed, seeds=seeds)
 
 
@@ -192,7 +241,10 @@ def run_tasks(
     workers: "int | None" = None,
     chunk_size: "int | None" = None,
     warm: "Sequence[NetworkSpec] | None" = None,
+    metrics: "MetricsRegistry | None" = None,
 ) -> list:
     """One-shot form of :meth:`ExperimentRunner.map`."""
-    runner = ExperimentRunner(workers=workers, chunk_size=chunk_size, warm=warm)
+    runner = ExperimentRunner(
+        workers=workers, chunk_size=chunk_size, warm=warm, metrics=metrics
+    )
     return runner.map(fn, items, params=params)

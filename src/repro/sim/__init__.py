@@ -1,39 +1,47 @@
-"""Discrete-event simulation of dynamic conference traffic and faults."""
+"""Discrete-event simulation of dynamic conference traffic and faults.
 
-from repro.sim.engine import Event, EventLoop
-from repro.sim.faults import (
-    FaultInjector,
-    FaultProcessConfig,
-    FaultTransition,
-    fault_universe,
-    generate_fault_timeline,
-)
-from repro.sim.metrics import AvailabilityStats, TrafficStats
-from repro.sim.scenarios import (
-    AvailabilityRun,
-    blocking_vs_dilation,
-    placement_comparison,
-    run_availability,
-    run_traffic,
-)
-from repro.sim.traffic import ConferenceTrafficSource, ResilientTrafficSource, TrafficConfig
+Exports are resolved lazily (PEP 562): importing a leaf module such as
+``repro.sim.metrics`` must not drag in ``repro.sim.scenarios`` — the
+scenarios import :mod:`repro.core.healing`, which itself imports
+:mod:`repro.sim.metrics` at module level, and an eager package
+``__init__`` would turn that into an import cycle.  ``from repro.sim
+import EventLoop`` and friends behave exactly as before.
+"""
 
-__all__ = [
-    "AvailabilityRun",
-    "AvailabilityStats",
-    "ConferenceTrafficSource",
-    "Event",
-    "EventLoop",
-    "FaultInjector",
-    "FaultProcessConfig",
-    "FaultTransition",
-    "ResilientTrafficSource",
-    "TrafficConfig",
-    "TrafficStats",
-    "blocking_vs_dilation",
-    "fault_universe",
-    "generate_fault_timeline",
-    "placement_comparison",
-    "run_availability",
-    "run_traffic",
-]
+from importlib import import_module
+
+_EXPORTS = {
+    "Event": "repro.sim.engine",
+    "EventLoop": "repro.sim.engine",
+    "FaultInjector": "repro.sim.faults",
+    "FaultProcessConfig": "repro.sim.faults",
+    "FaultTransition": "repro.sim.faults",
+    "fault_universe": "repro.sim.faults",
+    "generate_fault_timeline": "repro.sim.faults",
+    "AvailabilityStats": "repro.sim.metrics",
+    "TrafficStats": "repro.sim.metrics",
+    "AvailabilityRun": "repro.sim.scenarios",
+    "blocking_vs_dilation": "repro.sim.scenarios",
+    "placement_comparison": "repro.sim.scenarios",
+    "run_availability": "repro.sim.scenarios",
+    "run_traffic": "repro.sim.scenarios",
+    "ConferenceTrafficSource": "repro.sim.traffic",
+    "ResilientTrafficSource": "repro.sim.traffic",
+    "TrafficConfig": "repro.sim.traffic",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    value = getattr(import_module(module), name)
+    globals()[name] = value  # cache so the lookup runs once
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -5,6 +5,12 @@ broken by insertion order, so runs are exactly reproducible for a given
 seed.  The engine is deliberately generic — the conference traffic model
 in ``repro.sim.traffic`` schedules arrival and departure events on it —
 and supports stopping either at a horizon or after an event budget.
+
+An optional :class:`~repro.obs.trace.Tracer` (duck-typed; any object
+with an ``event`` method) can be attached to observe the loop itself:
+every ``schedule`` emits a ``loop.schedule`` event and every executed
+event a ``loop.fire`` event.  Tracing is pure observation — the heap
+order, the clock, and every action are identical with and without it.
 """
 
 from __future__ import annotations
@@ -12,6 +18,10 @@ from __future__ import annotations
 import heapq
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.obs.trace import Tracer
 
 __all__ = ["Event", "EventLoop"]
 
@@ -30,12 +40,13 @@ class Event:
 class EventLoop:
     """The simulation clock and pending-event heap."""
 
-    def __init__(self) -> None:
+    def __init__(self, tracer: "Tracer | None" = None) -> None:
         self._heap: list[Event] = []
         self._seq = 0
         self._now = 0.0
         self._processed = 0
         self._running = False
+        self.tracer = tracer
 
     @property
     def now(self) -> float:
@@ -57,6 +68,10 @@ class EventLoop:
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
         heapq.heappush(self._heap, Event(self._now + delay, self._seq, action))
+        if self.tracer is not None:
+            self.tracer.event(
+                "loop.schedule", t=self._now, at=self._now + delay, ev=self._seq
+            )
         self._seq += 1
 
     def schedule_at(self, time: float, action: Action) -> None:
@@ -84,6 +99,8 @@ class EventLoop:
                 ev = heapq.heappop(self._heap)
                 self._now = ev.time
                 self._processed += 1
+                if self.tracer is not None:
+                    self.tracer.event("loop.fire", t=ev.time, ev=ev.seq)
                 ev.action(self)
         finally:
             self._running = False

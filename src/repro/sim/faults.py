@@ -28,7 +28,7 @@ it, and relay-on/relay-off ablations face byte-identical fault histories.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 
 import numpy as np
@@ -142,6 +142,7 @@ class FaultInjector:
         process: "FaultProcessConfig | None" = None,
         horizon: "float | None" = None,
         seed: "int | np.random.Generator | None" = None,
+        tracer=None,
     ):
         if script is not None and process is not None:
             raise ValueError("pass either a script or a stochastic process, not both")
@@ -155,6 +156,9 @@ class FaultInjector:
         self._history: list[FaultTransition] = []
         self._listeners: list[FaultListener] = []
         self._started = False
+        # Observation only (duck-typed repro.obs.trace.Tracer): every
+        # executed transition emits a fault.fail / fault.repair event.
+        self.tracer = tracer
 
     @staticmethod
     def _validate(script: Iterable[FaultTransition]) -> tuple[FaultTransition, ...]:
@@ -216,5 +220,13 @@ class FaultInjector:
     def _fire(self, loop: EventLoop, transition: FaultTransition) -> None:
         (self._current.add if transition.failed else self._current.discard)(transition.point)
         self._history.append(transition)
+        if self.tracer is not None:
+            self.tracer.event(
+                "fault.fail" if transition.failed else "fault.repair",
+                t=transition.time,
+                level=transition.point[0],
+                row=transition.point[1],
+                dead=len(self._current),
+            )
         for listener in self._listeners:
             listener(loop, transition)

@@ -77,6 +77,8 @@ def run_availability(
     retry: "RetryPolicy | None" = None,
     duration: float = 1000.0,
     seed: int = 0,
+    tracer=None,
+    metrics=None,
 ) -> AvailabilityRun:
     """One live availability run: traffic + fault injection + self-healing.
 
@@ -85,7 +87,9 @@ def run_availability(
     *identical* fault process) or pre-generated from ``process`` and the
     seed.  Traffic, fault, and retry-jitter randomness come from three
     independent child streams of ``seed``, so the whole run — every
-    transition, retry, and metric — is exactly reproducible.
+    transition, retry, and metric — is exactly reproducible.  ``tracer``
+    / ``metrics`` (see :mod:`repro.obs`) observe the run without
+    perturbing it.
     """
     check_positive(duration, "duration")
     config = config or TrafficConfig()
@@ -97,11 +101,21 @@ def run_availability(
         script = generate_fault_timeline(
             network.topology, process or FaultProcessConfig(), duration, seed=fault_rng
         )
-    healing = SelfHealingController(network, retry=retry, seed=jitter_rng)
-    injector = FaultInjector(network.topology, script=script)
+    if tracer is not None:
+        tracer.event(
+            "experiment.run",
+            t=0.0,
+            experiment="faults",
+            topology=topology,
+            relay="on" if relay_enabled else "off",
+        )
+    healing = SelfHealingController(
+        network, retry=retry, seed=jitter_rng, tracer=tracer, metrics=metrics
+    )
+    injector = FaultInjector(network.topology, script=script, tracer=tracer)
     healing.attach(injector)
     source = ResilientTrafficSource(healing, config, seed=traffic_rng)
-    loop = EventLoop()
+    loop = EventLoop(tracer=tracer)
     injector.start(loop)
     source.start(loop)
     loop.run(until=duration)

@@ -1,6 +1,5 @@
 """Tests for the analytic blocking approximation."""
 
-import math
 
 import pytest
 

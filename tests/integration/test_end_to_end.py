@@ -12,7 +12,6 @@ from hypothesis import strategies as st
 from repro import (
     Conference,
     ConferenceNetwork,
-    ConferenceSet,
     PAPER_TOPOLOGIES,
     place_aligned,
 )

@@ -10,7 +10,6 @@ combination — never silent misdelivery.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -15,7 +15,7 @@ from repro.core.conference import Conference
 from repro.core.healing import SelfHealingController
 from repro.core.network import ConferenceNetwork
 from repro.core.routing import RoutingPolicy, UnroutableError, route_conference
-from repro.parallel.cache import RouteCache, shared_network, shared_route_cache
+from repro.parallel.cache import CacheStats, RouteCache, shared_network, shared_route_cache
 from repro.sim.engine import EventLoop
 from repro.sim.faults import FaultInjector, FaultTransition, fault_universe
 from repro.topology.builders import build
@@ -206,3 +206,74 @@ class TestLRUMechanics:
         assert shared_network("omega", 32) is shared_network("omega", 32)
         assert shared_route_cache("omega", 32) is shared_route_cache("omega", 32)
         assert shared_route_cache("omega", 32) is not shared_route_cache("omega", 16)
+
+
+class TestCacheStats:
+    """Edge cases of the hit/miss accounting and its worker-side merge."""
+
+    def test_zero_request_hit_rate_is_zero(self):
+        stats = CacheStats()
+        assert stats.requests == 0
+        assert stats.hit_rate == 0.0  # no division-by-zero
+
+    def test_fresh_cache_reports_empty_stats(self):
+        cache = RouteCache(NET)
+        assert cache.stats == CacheStats()
+        assert cache.stats.hit_rate == 0.0
+
+    def test_post_invalidation_accounting(self):
+        # A fault-context change moves the key namespace: the warm entry
+        # stays resident but the next lookup is an honest miss, and the
+        # derived rates must follow the raw counts through it.
+        cache = RouteCache(build("extra-stage-cube", N_PORTS))
+        conference = Conference.of([0, 1])
+        cache.route(conference)
+        cache.route(conference)
+        assert (cache.stats.hits, cache.stats.misses) == (1, 1)
+        cache.set_faults(frozenset({FAULT_POINTS[0]}))
+        cache.route(conference)
+        assert (cache.stats.hits, cache.stats.misses) == (1, 2)
+        assert cache.stats.requests == 3
+        assert cache.stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_merge_is_fieldwise_addition(self):
+        a = CacheStats(hits=3, misses=1, evictions=2, unroutable=1)
+        b = CacheStats(hits=1, misses=3, evictions=0, unroutable=0)
+        total = a.merge(b)
+        assert total == CacheStats(hits=4, misses=4, evictions=2, unroutable=1)
+        assert total is not a and total is not b  # inputs untouched
+        assert a == CacheStats(hits=3, misses=1, evictions=2, unroutable=1)
+        assert total.hit_rate == pytest.approx(0.5)  # request-weighted
+
+    def test_merged_folds_many_workers(self):
+        per_worker = [
+            CacheStats(hits=5, misses=5),
+            CacheStats(hits=0, misses=10),
+            CacheStats(),  # an idle worker contributes nothing
+        ]
+        total = CacheStats.merged(per_worker)
+        assert total.requests == 20
+        assert total.hit_rate == pytest.approx(0.25)
+        assert CacheStats.merged([]) == CacheStats()
+
+    def test_as_dict_includes_derived_fields(self):
+        stats = CacheStats(hits=1, misses=3)
+        assert stats.as_dict() == {
+            "hits": 1,
+            "misses": 3,
+            "evictions": 0,
+            "unroutable": 0,
+            "requests": 4,
+            "hit_rate": 0.25,
+        }
+
+    def test_merged_live_caches(self):
+        # The sharded-sweep idiom: each worker's cache reports its own
+        # stats, and the reducer folds them into one fabric-wide view.
+        caches = [RouteCache(NET), RouteCache(NET)]
+        for cache in caches:
+            cache.route(Conference.of([0, 1]))
+            cache.route(Conference.of([0, 1]))
+        total = CacheStats.merged(cache.stats for cache in caches)
+        assert (total.hits, total.misses) == (2, 2)
+        assert total.hit_rate == pytest.approx(0.5)

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.conference import Conference, ConferenceSet
+from repro.core.conference import Conference
 from repro.core.routing import RoutingPolicy, TapPolicy, route_conference
 from repro.switching.fabric import CapacityExceeded, Fabric
 from repro.topology.builders import PAPER_TOPOLOGIES, build

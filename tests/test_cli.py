@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -13,6 +15,14 @@ class TestParser:
     def test_unknown_topology_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["show", "--topology", "torus"])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("conference-net ")
+        assert any(ch.isdigit() for ch in out)
 
 
 class TestCommands:
@@ -116,3 +126,56 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "bounded backoff" in out
         assert "backoff" in out and "no-retry" in out
+
+
+class TestTelemetry:
+    """The observability surface: --trace-out / --metrics-out and `trace`."""
+
+    def test_availability_telemetry_flags(self, capsys, tmp_path):
+        trace_path = tmp_path / "t.jsonl"
+        metrics_path = tmp_path / "m.prom"
+        code = main([
+            "availability", "--topology", "extra-stage-cube", "--ports", "16",
+            "--duration", "200", "--mttf", "200", "--mttr", "10", "--seed", "1",
+            "--trace-out", str(trace_path), "--metrics-out", str(metrics_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "availability over time" in out  # normal report still printed
+        records = [json.loads(line) for line in trace_path.read_text().splitlines()]
+        assert records, "trace file is empty"
+        names = {record["name"] for record in records}
+        assert "conference.submit" in names
+        metrics = metrics_path.read_text()
+        assert "repro_link_occupancy_bucket{" in metrics
+        assert "repro_conflict_multiplicity{" in metrics
+
+    def test_availability_output_unchanged_by_telemetry(self, capsys, tmp_path):
+        args = [
+            "availability", "--ports", "16", "--duration", "150",
+            "--mttf", "150", "--mttr", "10", "--seed", "3",
+        ]
+        assert main(args) == 0
+        bare = capsys.readouterr().out
+        assert main(args + ["--trace-out", str(tmp_path / "t.jsonl")]) == 0
+        instrumented = capsys.readouterr().out
+        # The report proper is byte-identical; telemetry only appends a
+        # "wrote ..." footer after it.
+        assert instrumented.startswith(bare)
+
+    def test_trace_subcommand(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        metrics_path = tmp_path / "metrics.json"
+        code = main([
+            "trace", "--ports", "16", "--duration", "150",
+            "--mttf", "100", "--mttr", "10", "--seed", "2",
+            "--out", str(trace_path), "--metrics-out", str(metrics_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace of one availability run" in out
+        records = [json.loads(line) for line in trace_path.read_text().splitlines()]
+        assert records
+        assert {"event", "span"} >= {record["type"] for record in records}
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["repro_admissions_total"]["kind"] == "counter"

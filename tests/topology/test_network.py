@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.topology.builders import TOPOLOGY_BUILDERS, build
 from repro.topology.network import MultistageNetwork, Stage
-from repro.topology.permutations import identity, perfect_shuffle
+from repro.topology.permutations import identity
 from repro.util.bits import bit_reverse
 
 TOPOLOGIES = sorted(TOPOLOGY_BUILDERS)

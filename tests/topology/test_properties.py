@@ -1,6 +1,5 @@
 """Tests for structural property checkers and digests."""
 
-import pytest
 
 from repro.topology.builders import build
 from repro.topology.network import MultistageNetwork, Stage
