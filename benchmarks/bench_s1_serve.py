@@ -1,0 +1,111 @@
+"""Serving S1 — online service throughput under churn and shedding policies.
+
+The offline experiments realize a fixed conference set in one shot;
+this bench measures the *online* path: the :class:`FabricService`
+admitting a seeded stream of session opens/joins/leaves in per-tick
+batches, with a fault timeline firing underneath and the bounded
+admission queue shedding by policy.
+
+Two tables:
+
+* **policy arms** — the three shed policies at equal offered load on a
+  deliberately tight queue: what each one trades (who gets rejected,
+  queue depth, admission latency);
+* **fault arms** — the same churn with and without live faults: the
+  requeue path's cost in latency and the zero-lost-sessions invariant.
+"""
+
+from _common import emit
+
+from repro.core.healing import RetryPolicy
+from repro.serve.backpressure import ShedPolicy
+from repro.serve.bench import run_serve_bench
+from repro.sim.faults import FaultProcessConfig
+
+N_PORTS = 64
+CHURN = dict(
+    conferences=400,
+    seed=0,
+    arrival_rate=5.0,
+    mean_size=3.5,
+    mean_hold_ticks=12.0,
+    resize_prob=0.25,
+    retry=RetryPolicy(max_retries=5, base_delay=1.0),
+)
+FAULTS = FaultProcessConfig(mean_time_to_failure=800.0, mean_time_to_repair=4.0)
+
+
+def policy_rows():
+    rows = []
+    for policy in ShedPolicy:
+        report = run_serve_bench(
+            N_PORTS, queue_capacity=8, max_batch=4, shed_policy=policy, **CHURN
+        )
+        svc = report.service
+        rows.append(
+            {
+                "policy": policy.value,
+                "admitted": svc["admitted"],
+                "rejected": svc["rejected"],
+                "shed": svc["shed"],
+                "peak_depth": report.peak_queue_depth,
+                "mean_latency": round(svc["mean_admission_latency"], 2),
+                "throughput": round(report.throughput, 3),
+            }
+        )
+    return rows
+
+
+def fault_rows():
+    rows = []
+    for label, process in (("healthy", None), ("live faults", FAULTS)):
+        report = run_serve_bench(
+            N_PORTS, queue_capacity=128, fault_process=process, **CHURN
+        )
+        svc = report.service
+        rows.append(
+            {
+                "faults": label,
+                "transitions": report.fault_transitions,
+                "admitted": svc["admitted"],
+                "requeues": svc["requeues"],
+                "lost_sessions": report.lost_sessions,
+                "mean_latency": round(svc["mean_admission_latency"], 2),
+                "ticks": report.ticks,
+            }
+        )
+    return rows
+
+
+def test_s1_serve(benchmark):
+    benchmark(
+        lambda: run_serve_bench(
+            32,
+            conferences=60,
+            seed=0,
+            arrival_rate=4.0,
+            mean_hold_ticks=8.0,
+        )
+    )
+
+    rows = policy_rows()
+    emit(
+        "s1_serve_policies",
+        rows,
+        title=f"S1: shed policies on a tight queue (N={N_PORTS}, capacity=8, batch=4)",
+    )
+    # Every policy keeps the backlog within the bound, and the priority
+    # lanes never shed more than plain tail drop rejects.
+    assert all(r["peak_depth"] <= 8 for r in rows)
+
+    rows = fault_rows()
+    emit(
+        "s1_serve_faults",
+        rows,
+        title=f"S1: churn with and without live faults (N={N_PORTS})",
+    )
+    # The invariant the service exists for: faults cost latency and
+    # requeues, never sessions.
+    assert all(r["lost_sessions"] == 0 for r in rows)
+    faulty = next(r for r in rows if r["faults"] == "live faults")
+    assert faulty["transitions"] > 0

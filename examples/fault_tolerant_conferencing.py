@@ -81,7 +81,7 @@ def fault_story() -> None:
 def healing_story() -> None:
     network = ConferenceNetwork.build("extra-stage-cube", N_PORTS, dilation=N_PORTS)
     healing = SelfHealingController(
-        network, retry=RetryPolicy(max_retries=5, base_delay=2.0), seed=7
+        network, retry=RetryPolicy(max_retries=5, base_delay=2.0), rng=7
     )
     confs = [Conference.of(m, i) for i, m in enumerate([(0, 1), (2, 7), (4, 5, 6)])]
     for conf in confs:

@@ -5,7 +5,8 @@ conference switching networks for group communication* (ICPP 2002):
 multistage-network substrates (baseline, omega, indirect binary cube),
 fan-in/fan-out switch fabrics with the per-stage output-multiplexer
 relay, conference self-routing, routing-conflict multiplicity analysis,
-hardware cost models, and a dynamic-traffic simulator.
+hardware cost models, a dynamic-traffic simulator, and an online
+conference service (:mod:`repro.serve`).
 
 Quickstart::
 
@@ -16,65 +17,58 @@ Quickstart::
     print(result.conflicts.describe())
     assert result.ok  # every member heard the full mix
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-reproduced evaluation.
+The supported surface is defined by :mod:`repro.api`; every name listed
+there resolves through this package (``from repro import X``).  A few
+pre-1.1 spellings keep working through deprecation shims that warn once
+per process and point at the name's home module.
+
+See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+reproduced evaluation, and docs/api.md for the stability policy.
 """
 
-from repro.core import (
-    AdmissionController,
-    AdmissionDenied,
-    BuddyAllocator,
-    Conference,
-    ConferenceNetwork,
-    ConferenceSet,
-    ConflictReport,
-    RealizationResult,
-    Route,
-    RoutingPolicy,
-    TapPolicy,
-    UnroutableError,
-    analyze_conflicts,
-    place_aligned,
-    route_conference,
-)
-from repro.core import GroupConnection, route_group
-from repro.core import RetryPolicy, SelfHealingController
-from repro.switching import CapacityExceeded, DeliveryReport, Fabric
-from repro.topology import (
-    PAPER_TOPOLOGIES,
-    TOPOLOGY_BUILDERS,
-    MultistageNetwork,
-    build,
-)
+import warnings
 
-__version__ = "1.0.0"
+from repro import api
 
-__all__ = [
-    "AdmissionController",
-    "AdmissionDenied",
-    "BuddyAllocator",
-    "CapacityExceeded",
-    "Conference",
-    "ConferenceNetwork",
-    "ConferenceSet",
-    "ConflictReport",
-    "DeliveryReport",
-    "Fabric",
-    "MultistageNetwork",
-    "PAPER_TOPOLOGIES",
-    "RealizationResult",
-    "RetryPolicy",
-    "Route",
-    "GroupConnection",
-    "RoutingPolicy",
-    "SelfHealingController",
-    "TOPOLOGY_BUILDERS",
-    "TapPolicy",
-    "UnroutableError",
-    "analyze_conflicts",
-    "build",
-    "place_aligned",
-    "route_conference",
-    "route_group",
-    "__version__",
-]
+__version__ = "1.1.0"
+
+#: Pre-1.1 top-level names that are no longer part of the stable
+#: surface: legacy name -> (home module, attribute).  Accessing them via
+#: ``repro`` still works but emits one DeprecationWarning per process.
+_LEGACY = {
+    "BuddyAllocator": ("repro.core.admission", "BuddyAllocator"),
+    "place_aligned": ("repro.core.admission", "place_aligned"),
+    "GroupConnection": ("repro.core.groupcast", "GroupConnection"),
+    "route_group": ("repro.core.groupcast", "route_group"),
+}
+
+__all__ = sorted([*api.__all__, "__version__"])
+
+
+def __getattr__(name: str):
+    # PEP 562: resolve the stable surface through repro.api and legacy
+    # spellings through their home modules.  Either way the value is
+    # cached in globals(), so this body — and any deprecation warning in
+    # it — runs at most once per name per process.
+    if name in _LEGACY:
+        module_name, attr = _LEGACY[name]
+        warnings.warn(
+            f"importing {name!r} from 'repro' is deprecated; "
+            f"use 'from {module_name} import {attr}'",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from importlib import import_module
+
+        value = getattr(import_module(module_name), attr)
+        globals()[name] = value
+        return value
+    if name in api.__all__:
+        value = getattr(api, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted({*__all__, *_LEGACY, "api"})

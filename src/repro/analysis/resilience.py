@@ -201,7 +201,7 @@ def _replay_steady(
             relay="on" if relay_enabled else "off",
         )
     healing = SelfHealingController(
-        network, retry=retry, seed=seed, tracer=tracer, metrics=metrics
+        network, retry=retry, rng=seed, tracer=tracer, metrics=metrics
     )
     # Steady conferences want to run to the horizon: a drop's outage
     # window therefore extends to the end of the experiment.

@@ -1,0 +1,146 @@
+"""The versioned public surface of :mod:`repro`.
+
+This module is the single place that defines what the library promises
+to keep stable: everything in ``__all__`` here is the supported API,
+``from repro import X`` resolves through this facade, and
+``tests/api/test_public_surface.py`` snapshots the surface so it cannot
+drift silently (CI fails on any change that does not also update the
+manifest and ``docs/api.md``).
+
+Stability policy (see ``docs/api.md`` for the full statement):
+
+* Names in ``__all__`` only gain keyword arguments; they are removed or
+  re-signatured only across a major version, after at least one minor
+  release of ``DeprecationWarning``.
+* Names importable from :mod:`repro` but *not* listed here are legacy
+  spellings kept working through warn-once deprecation shims in the
+  package ``__init__``; import them from their home modules instead.
+* Everything else (``repro.*`` submodules' private helpers) carries no
+  compatibility promise.
+
+Every user-facing operation verdict — offline realization, healing
+submit, service response, bench report — satisfies the :class:`Result`
+protocol (``ok`` / ``reason`` / ``as_dict``), so callers and the CLI
+handle all of them through one code path
+(:func:`repro.report.serialize.result_to_dict`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+from repro.core.admission import AdmissionController, AdmissionDenied
+from repro.core.conference import Conference, ConferenceSet
+from repro.core.conflict import ConflictReport, analyze_conflicts
+from repro.core.healing import RetryPolicy, SelfHealingController, SubmitOutcome
+from repro.core.network import ConferenceNetwork, RealizationResult
+from repro.core.routing import (
+    Route,
+    RoutingPolicy,
+    TapPolicy,
+    UnroutableError,
+    route_conference,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.parallel.cache import RouteCache
+from repro.serve.backpressure import AdmissionQueue, ShedPolicy
+from repro.serve.bench import ServeBenchReport, run_serve_bench
+from repro.serve.protocol import Priority, ServiceResponse, SessionRequest
+from repro.serve.service import FabricService, ServiceStats
+from repro.serve.session import Session, SessionState, SessionTable
+from repro.sim.engine import EventLoop
+from repro.sim.faults import (
+    FaultInjector,
+    FaultProcessConfig,
+    FaultTransition,
+    generate_fault_timeline,
+)
+from repro.switching.fabric import CapacityExceeded, DeliveryReport, Fabric
+from repro.topology.builders import PAPER_TOPOLOGIES, TOPOLOGY_BUILDERS, build
+from repro.topology.network import MultistageNetwork
+
+#: Version of the public surface (bumped on any additive change; the
+#: library version tracks releases, this tracks the API contract).
+API_VERSION = "1.1"
+
+
+@runtime_checkable
+class Result(Protocol):
+    """The contract every operation verdict in the library satisfies.
+
+    ``ok`` says whether the operation fully succeeded, ``reason`` is
+    ``None`` exactly when ``ok`` is true (otherwise a short
+    machine-readable cause), and ``as_dict`` returns a JSON-ready view
+    whose ``"kind"`` key names the concrete result type.
+    :class:`~repro.core.network.RealizationResult`,
+    :class:`~repro.core.healing.SubmitOutcome`,
+    :class:`~repro.serve.protocol.ServiceResponse`, and
+    :class:`~repro.serve.bench.ServeBenchReport` all conform; the test
+    suite checks conformance with ``isinstance(x, Result)``.
+    """
+
+    @property
+    def ok(self) -> bool: ...
+
+    @property
+    def reason(self) -> "str | None": ...
+
+    def as_dict(self) -> dict[str, Any]: ...
+
+
+__all__ = [
+    # the contract
+    "API_VERSION",
+    "Result",
+    # build & offline realization
+    "ConferenceNetwork",
+    "RealizationResult",
+    "MultistageNetwork",
+    "PAPER_TOPOLOGIES",
+    "TOPOLOGY_BUILDERS",
+    "build",
+    # conferences & routing
+    "Conference",
+    "ConferenceSet",
+    "Route",
+    "RoutingPolicy",
+    "TapPolicy",
+    "UnroutableError",
+    "ConflictReport",
+    "analyze_conflicts",
+    "route_conference",
+    # switching fabric
+    "Fabric",
+    "DeliveryReport",
+    "CapacityExceeded",
+    # admission & self-healing
+    "AdmissionController",
+    "AdmissionDenied",
+    "RetryPolicy",
+    "SelfHealingController",
+    "SubmitOutcome",
+    "RouteCache",
+    # faults & simulation clock
+    "EventLoop",
+    "FaultInjector",
+    "FaultProcessConfig",
+    "FaultTransition",
+    "generate_fault_timeline",
+    # the online service layer
+    "FabricService",
+    "ServiceStats",
+    "SessionRequest",
+    "ServiceResponse",
+    "Priority",
+    "ShedPolicy",
+    "AdmissionQueue",
+    "Session",
+    "SessionState",
+    "SessionTable",
+    "ServeBenchReport",
+    "run_serve_bench",
+    # observability
+    "Tracer",
+    "MetricsRegistry",
+]

@@ -14,6 +14,8 @@ quick interactive inspection of networks and conference routings::
     conference-net availability --topology extra-stage-cube --ports 32
     conference-net sweep --ports 64 --trials 200 --workers 4
     conference-net trace --ports 16 --out trace.jsonl
+    conference-net serve --ports 32 --load 0.5
+    conference-net bench-serve --ports 64 --conferences 500 --faults
 
 Observability: ``availability``, ``faults``, and ``sweep`` accept
 ``--trace-out``/``--metrics-out`` to export a JSONL event trace and a
@@ -46,8 +48,10 @@ from repro.analysis.worstcase import (
 from repro.core.network import ConferenceNetwork
 from repro.obs import MetricsRegistry, Tracer, collecting
 from repro.report.ascii import render_network, render_routes, render_stage_profile
+from repro.report.serialize import result_to_dict, save_json
 from repro.report.tables import render_table
 from repro.core.routing import route_conference
+from repro.serve.backpressure import ShedPolicy
 from repro.sim.scenarios import blocking_vs_dilation
 from repro.topology.builders import PAPER_TOPOLOGIES, TOPOLOGY_BUILDERS, build
 from repro.workloads.generators import uniform_partition
@@ -261,6 +265,60 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write collected metrics (Prometheus text; JSON when PATH ends in .json)",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the online conference service (asyncio facade) over a demo workload",
+    )
+    serve.add_argument("--topology", default="indirect-binary-cube", choices=sorted(TOPOLOGY_BUILDERS))
+    serve.add_argument("--ports", type=int, default=32)
+    serve.add_argument("--dilation", type=int, default=4)
+    serve.add_argument("--load", type=float, default=0.5, help="port load of the demo workload")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--retries", type=int, default=5, help="retry budget (0 disables retries)")
+    serve.add_argument("--queue-capacity", type=int, default=256)
+    serve.add_argument(
+        "--shed-policy",
+        default="reject-newest",
+        choices=sorted(p.value for p in ShedPolicy),
+    )
+    serve.add_argument("--max-batch", type=int, default=64)
+    serve.add_argument("--json", metavar="PATH", help="write every response as JSON (shared result schema)")
+    _add_telemetry_flags(serve)
+
+    bench_serve = sub.add_parser(
+        "bench-serve",
+        help="seeded churn benchmark of the conference service",
+    )
+    bench_serve.add_argument("--topology", default="indirect-binary-cube", choices=sorted(TOPOLOGY_BUILDERS))
+    bench_serve.add_argument("--ports", type=int, default=64)
+    bench_serve.add_argument("--dilation", type=int, default=4)
+    bench_serve.add_argument("--conferences", type=int, default=500)
+    bench_serve.add_argument("--seed", type=int, default=0)
+    bench_serve.add_argument("--arrival-rate", type=float, default=4.0, help="mean conference opens per tick")
+    bench_serve.add_argument("--mean-size", type=float, default=4.0, help="mean conference size (ports)")
+    bench_serve.add_argument("--mean-hold", type=float, default=20.0, help="mean session lifetime (ticks)")
+    bench_serve.add_argument("--resize-prob", type=float, default=0.2, help="per-tick chance of one join/leave")
+    bench_serve.add_argument("--queue-capacity", type=int, default=256)
+    bench_serve.add_argument(
+        "--shed-policy",
+        default="reject-newest",
+        choices=sorted(p.value for p in ShedPolicy),
+    )
+    bench_serve.add_argument("--max-batch", type=int, default=64)
+    bench_serve.add_argument("--retries", type=int, default=5, help="retry budget (0 disables retries)")
+    bench_serve.add_argument(
+        "--faults",
+        action="store_true",
+        help="fire a seeded fault timeline underneath the workload",
+    )
+    bench_serve.add_argument("--mttf", type=float, default=400.0, help="mean time to failure per link")
+    bench_serve.add_argument("--mttr", type=float, default=5.0, help="mean time to repair per link")
+    bench_serve.add_argument(
+        "--route-cache", action="store_true", help="memoize routing through a RouteCache"
+    )
+    bench_serve.add_argument("--json", metavar="PATH", help="write the report as JSON (shared result schema)")
+    _add_telemetry_flags(bench_serve)
     return parser
 
 
@@ -573,6 +631,134 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.service import FabricService
+
+    net = ConferenceNetwork.build(args.topology, args.ports, dilation=args.dilation)
+    tracer, registry = _telemetry(args)
+    retry = RetryPolicy(max_retries=args.retries) if args.retries > 0 else None
+    service = FabricService(
+        net,
+        retry=retry,
+        rng=args.seed,
+        tracer=tracer,
+        metrics=registry,
+        queue_capacity=args.queue_capacity,
+        shed_policy=args.shed_policy,
+        max_batch=args.max_batch,
+    )
+    workload = uniform_partition(args.ports, load=args.load, seed=args.seed)
+
+    async def demo() -> list:
+        runner = asyncio.create_task(service.run())
+        opened = await asyncio.gather(
+            *(service.open_conference(c.members) for c in workload)
+        )
+        closed = await asyncio.gather(
+            *(service.close(r.session_id) for r in opened if r.ok)
+        )
+        runner.cancel()
+        try:
+            await runner
+        except asyncio.CancelledError:
+            pass
+        return [*opened, *closed]
+
+    responses = asyncio.run(demo())
+    counts = service.shutdown()
+    rows = [
+        {
+            "op": r.kind,
+            "session": r.session_id,
+            "status": r.status,
+            "latency": r.latency,
+            "reason": r.reason or "",
+        }
+        for r in responses
+    ]
+    print(render_table(
+        rows,
+        columns=["op", "session", "status", "latency", "reason"],
+        title=f"conference service demo ({args.topology}, N={args.ports}, "
+        f"{len(workload)} conferences)",
+    ))
+    settled = service.stats.as_dict()
+    print(
+        f"\n{settled['admitted']} admitted, {settled['closed']} closed, "
+        f"{settled['rejected']} rejected over {settled['ticks']} ticks; "
+        f"final sessions: {counts}"
+    )
+    if args.json:
+        save_json(args.json, {"responses": [result_to_dict(r) for r in responses]})
+        print(f"responses written to {args.json}")
+    _write_telemetry(args, tracer, registry)
+    return 0 if all(counts[s] == 0 for s in ("queued", "active", "degraded", "down")) else 1
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    from repro.serve.bench import run_serve_bench
+    from repro.sim.faults import FaultProcessConfig
+
+    net = ConferenceNetwork.build(args.topology, args.ports, dilation=args.dilation)
+    tracer, registry = _telemetry(args)
+    retry = RetryPolicy(max_retries=args.retries) if args.retries > 0 else None
+    cache = None
+    if args.route_cache:
+        from repro.parallel.cache import RouteCache
+
+        cache = RouteCache(net.topology, policy=net.policy)
+    process = (
+        FaultProcessConfig(mean_time_to_failure=args.mttf, mean_time_to_repair=args.mttr)
+        if args.faults
+        else None
+    )
+    report = run_serve_bench(
+        net,
+        conferences=args.conferences,
+        seed=args.seed,
+        arrival_rate=args.arrival_rate,
+        mean_size=args.mean_size,
+        mean_hold_ticks=args.mean_hold,
+        resize_prob=args.resize_prob,
+        queue_capacity=args.queue_capacity,
+        shed_policy=args.shed_policy,
+        max_batch=args.max_batch,
+        retry=retry,
+        fault_process=process,
+        route_cache=cache,
+        tracer=tracer,
+        metrics=registry,
+    )
+    svc = report.service
+    rows = [
+        {"metric": "conferences offered", "value": report.conferences},
+        {"metric": "ticks (incl. drain)", "value": report.ticks},
+        {"metric": "throughput (admits/tick)", "value": round(report.throughput, 3)},
+        {"metric": "admitted", "value": svc["admitted"]},
+        {"metric": "membership changes applied", "value": svc["applied"]},
+        {"metric": "rejected", "value": svc["rejected"]},
+        {"metric": "shed", "value": svc["shed"]},
+        {"metric": "fault requeues survived", "value": svc["requeues"]},
+        {"metric": "sessions lost", "value": report.lost_sessions},
+        {"metric": "peak queue depth", "value": report.peak_queue_depth},
+        {"metric": "mean admission latency (ticks)", "value": round(svc["mean_admission_latency"], 3)},
+        {"metric": "fault transitions", "value": report.fault_transitions},
+    ]
+    print(render_table(
+        rows,
+        title=f"serve bench ({args.topology}, N={args.ports}, seed={args.seed}, "
+        f"policy={report.shed_policy})",
+    ))
+    print(f"\nresult: {'ok' if report.ok else 'FAILED: ' + str(report.reason)}")
+    if args.json:
+        save_json(args.json, result_to_dict(report))
+        print(f"report written to {args.json}")
+    _write_telemetry(args, tracer, registry)
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "show": _cmd_show,
     "route": _cmd_route,
@@ -584,6 +770,8 @@ _COMMANDS = {
     "availability": _cmd_availability,
     "sweep": _cmd_sweep,
     "trace": _cmd_trace,
+    "serve": _cmd_serve,
+    "bench-serve": _cmd_bench_serve,
 }
 
 

@@ -10,7 +10,7 @@ from repro.core.churn import ChurnResult, apply_churn, join_member, leave_member
 from repro.core.conference import Conference, ConferenceSet
 from repro.core.conflict import ConflictReport, analyze_conflicts, link_loads
 from repro.core.groupcast import GroupConnection, GroupRoute, route_group
-from repro.core.healing import RetryPolicy, SelfHealingController
+from repro.core.healing import RetryPolicy, SelfHealingController, SubmitOutcome
 from repro.core.network import ConferenceNetwork, RealizationResult
 from repro.core.routing import (
     Route,
@@ -38,6 +38,7 @@ __all__ = [
     "Route",
     "RoutingPolicy",
     "SelfHealingController",
+    "SubmitOutcome",
     "TapPolicy",
     "UnroutableError",
     "analyze_conflicts",

@@ -150,7 +150,7 @@ class AdmissionController:
     drives.
     """
 
-    def __init__(self, network: ConferenceNetwork, tracer=None):
+    def __init__(self, network: ConferenceNetwork, *, tracer=None):
         self._network = network
         self._loads: Counter = Counter()
         self._routes: dict[int, Route] = {}

@@ -42,8 +42,9 @@ The controller is deliberately loop-agnostic: it only ever calls
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.admission import AdmissionController, AdmissionDenied
 from repro.core.conference import Conference, ConferenceSet
@@ -68,7 +69,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotations only
     from repro.sim.engine import EventLoop
     from repro.sim.faults import FaultTransition
 
-__all__ = ["RetryPolicy", "SelfHealingController"]
+__all__ = ["RetryPolicy", "SelfHealingController", "SubmitOutcome"]
 
 
 @dataclass(frozen=True)
@@ -103,6 +104,51 @@ class RetryPolicy:
         if self.jitter and rng is not None:
             base *= 1.0 + self.jitter * float(rng.random())
         return base
+
+
+@dataclass(frozen=True)
+class SubmitOutcome:
+    """The synchronous verdict of one :meth:`SelfHealingController.submit`.
+
+    Implements the shared result contract of :data:`repro.api.Result`
+    (``ok`` / ``reason`` / ``as_dict``).  ``status`` is one of:
+
+    * ``"admitted"`` — the call is up right now; ``route`` is set.
+    * ``"queued"`` — admission was denied but retries are scheduled; the
+      terminal outcome arrives through the submit callbacks.
+    * ``"lost"`` — denied with no retry budget; ``reason`` carries the
+      denial reason (``"ports"``, ``"capacity"``, ``"fault"``, or
+      ``"retry-exhausted"``).
+    """
+
+    status: str
+    conference_id: int
+    route: "Route | None" = None
+    reason: "str | None" = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the conference was admitted immediately."""
+        return self.status == "admitted"
+
+    @property
+    def pending(self) -> bool:
+        """True when the outcome will arrive later via callbacks."""
+        return self.status == "queued"
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-ready view (the shared result-serializer contract)."""
+        return {
+            "kind": "submit_outcome",
+            "ok": self.ok,
+            "status": self.status,
+            "conference_id": self.conference_id,
+            "reason": self.reason,
+            "links": self.route.n_links if self.route is not None else None,
+        }
 
 
 #: Help strings of the controller's counter families (attached on first use).
@@ -150,13 +196,26 @@ class SelfHealingController:
     def __init__(
         self,
         network: ConferenceNetwork,
+        *,
         retry: "RetryPolicy | None" = None,
         stats: "AvailabilityStats | None" = None,
-        seed: "int | np.random.Generator | None" = None,
+        rng: "int | np.random.Generator | None" = None,
         route_cache: "RouteCache | None" = None,
         tracer: "Tracer | None" = None,
         metrics: "MetricsRegistry | None" = None,
+        seed: "int | np.random.Generator | None" = None,
     ):
+        if seed is not None:
+            # Pre-1.1 name for the jitter stream; one consistent spelling
+            # (``rng=``) now covers AdmissionController / SelfHealing /
+            # FabricService construction.
+            warnings.warn(
+                "SelfHealingController(seed=...) is deprecated; pass rng=",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if rng is None:
+                rng = seed
         if stats is None:
             stats = AvailabilityStats()
         if route_cache is not None:
@@ -176,7 +235,7 @@ class SelfHealingController:
         self.tracer = tracer
         self._metrics = metrics
         self._drop_spans: dict[int, int] = {}  # cid -> open conference.drop span
-        self._rng = ensure_rng(seed)
+        self._rng = ensure_rng(rng)
         self._faults: set[Point] = set()
         self._healthy: dict[int, Route] = {}  # cid -> fault-free reference route
         self._degraded: set[int] = set()
@@ -325,6 +384,42 @@ class SelfHealingController:
         if now is not None:
             self._observe(now)
 
+    def resize(
+        self,
+        conference_id: int,
+        members: "tuple[int, ...] | list[int]",
+        now: "float | None" = None,
+    ) -> Route:
+        """Change a live conference's membership (members join/leave).
+
+        The new member set is routed around the *current* fault set and
+        swapped in atomically via the same link-diff accounting the
+        healing ladder uses; the degraded bookkeeping follows the new
+        membership.  Raises :class:`AdmissionDenied` (and leaves the old
+        route live) when a wanted port is taken or capacity refuses the
+        added links, :class:`~repro.core.routing.UnroutableError` when
+        no surviving route exists for the new membership.
+        """
+        old = self._inner.route_of(conference_id)
+        conference = Conference.of(members, conference_id=conference_id)
+        faults = frozenset(self._faults)
+        new = self._route(conference, faults)
+        self._inner.replace_route(conference_id, new)
+        self._healthy[conference_id] = self._route(conference) if faults else new
+        self._update_degraded(conference_id, new, now=now)
+        if self.tracer is not None:
+            self.tracer.event(
+                "conference.resize",
+                t=now,
+                cid=conference_id,
+                size=len(conference.members),
+                links_touched=len(new.links - old.links) + len(old.links - new.links),
+            )
+        self._count("repro_heals_total", action="resize")
+        if now is not None:
+            self._observe(now)
+        return new
+
     # -- retrying admission (arrivals) -------------------------------------
 
     def submit(
@@ -333,12 +428,18 @@ class SelfHealingController:
         conference: Conference,
         on_admitted: "Callable[[EventLoop, Route], None] | None" = None,
         on_lost: "LostListener | None" = None,
-    ) -> "Route | None":
-        """Admit now or enqueue retries; the terminal outcome arrives via
-        the callbacks.  Returns the route only on immediate admission."""
+    ) -> SubmitOutcome:
+        """Admit now or enqueue retries.
+
+        Returns a :class:`SubmitOutcome` describing the synchronous
+        verdict — ``admitted`` (with the route), ``queued`` (retries are
+        scheduled; the terminal outcome arrives via the callbacks), or
+        ``lost`` (denied with no retry budget).
+        """
         return self._attempt_submit(loop, conference, on_admitted, on_lost, attempt=0)
 
     def _attempt_submit(self, loop, conference, on_admitted, on_lost, attempt):
+        cid = conference.conference_id
         try:
             route = self.try_join(conference, now=loop.now)
         except AdmissionDenied as denial:
@@ -346,28 +447,28 @@ class SelfHealingController:
                 self._trace_lost(loop, conference, denial.reason)
                 if on_lost:
                     on_lost(loop, conference, denial.reason)
-                return None
+                return SubmitOutcome("lost", cid, reason=denial.reason)
             if attempt >= self._retry.max_retries:
                 self._stats.retries_exhausted += 1
                 self._count("repro_retries_total", outcome="exhausted")
                 self._trace_lost(loop, conference, "retry-exhausted")
                 if on_lost:
                     on_lost(loop, conference, "retry-exhausted")
-                return None
+                return SubmitOutcome("lost", cid, reason="retry-exhausted")
             self._schedule_retry(
                 loop,
                 attempt,
                 lambda lp: self._attempt_submit(lp, conference, on_admitted, on_lost, attempt + 1),
-                cid=conference.conference_id,
+                cid=cid,
             )
-            return None
+            return SubmitOutcome("queued", cid, reason=denial.reason)
         if attempt > 0:
             self._stats.retries_succeeded += 1
             self._count("repro_retries_total", outcome="succeeded")
         if on_admitted:
             on_admitted(loop, route)
         self._observe(loop.now)
-        return route
+        return SubmitOutcome("admitted", cid, route=route)
 
     def _schedule_retry(self, loop, attempt: int, action, cid: "int | None" = None) -> None:
         self._stats.retries_scheduled += 1

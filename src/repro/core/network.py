@@ -29,7 +29,15 @@ __all__ = ["ConferenceNetwork", "RealizationResult"]
 
 @dataclass(frozen=True)
 class RealizationResult:
-    """Routes plus their conflict and hardware-delivery reports."""
+    """Routes plus their conflict and hardware-delivery reports.
+
+    Implements the shared result contract of :data:`repro.api.Result`:
+    ``ok`` / ``reason`` / ``as_dict`` — the same shape healing
+    :class:`~repro.core.healing.SubmitOutcome` values and
+    :class:`~repro.serve.protocol.ServiceResponse` responses expose, so
+    one serializer (``repro.report.serialize.result_to_dict``) renders
+    all of them.
+    """
 
     routes: tuple[Route, ...]
     conflicts: ConflictReport
@@ -39,6 +47,26 @@ class RealizationResult:
     def ok(self) -> bool:
         """True when every member heard its full conference."""
         return self.delivery.correct
+
+    @property
+    def reason(self) -> "str | None":
+        """Why the realization failed (``None`` when it succeeded)."""
+        if self.ok:
+            return None
+        return f"delivery: {len(self.delivery.errors)} member(s) heard a wrong mix"
+
+    def as_dict(self) -> dict:
+        """A JSON-ready summary (the shared result-serializer contract)."""
+        return {
+            "kind": "realization",
+            "ok": self.ok,
+            "reason": self.reason,
+            "n_conferences": self.conflicts.n_conferences,
+            "max_multiplicity": self.conflicts.max_multiplicity,
+            "conflict_free": self.conflicts.conflict_free,
+            "peak_link_load": self.delivery.peak_link_load,
+            "errors": list(self.delivery.errors),
+        }
 
 
 class ConferenceNetwork:

@@ -19,6 +19,7 @@ from repro.core.routing import Route
 __all__ = [
     "conference_set_to_dict",
     "conference_set_from_dict",
+    "result_to_dict",
     "route_to_dict",
     "conflict_report_to_dict",
     "save_json",
@@ -26,6 +27,29 @@ __all__ = [
 ]
 
 SCHEMA_VERSION = 1
+
+
+def result_to_dict(result: Any) -> dict[str, Any]:
+    """Serialize any :data:`repro.api.Result` conformer, uniformly.
+
+    The one place operation verdicts become JSON: realization results,
+    healing submit outcomes, service responses, and bench reports all
+    pass through here (the CLI's ``--json`` paths use this), so every
+    verdict carries the same envelope — ``kind`` discriminator, schema
+    version, ``ok``, and ``reason``.
+    """
+    for attr in ("ok", "reason", "as_dict"):
+        if not hasattr(result, attr):
+            raise TypeError(
+                f"{type(result).__name__} does not satisfy the result contract "
+                f"(missing {attr!r})"
+            )
+    payload = result.as_dict()
+    payload.setdefault("kind", type(result).__name__)
+    payload.setdefault("ok", bool(result.ok))
+    payload.setdefault("reason", result.reason)
+    payload["schema"] = SCHEMA_VERSION
+    return payload
 
 
 def conference_set_to_dict(cs: ConferenceSet) -> dict[str, Any]:

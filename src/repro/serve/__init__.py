@@ -1,0 +1,36 @@
+"""The online conference service layer.
+
+Everything needed to run a fabric as a long-lived server: the
+session-oriented protocol (:mod:`repro.serve.protocol`), session
+lifecycle tracking (:mod:`repro.serve.session`), bounded admission
+queueing with load shedding (:mod:`repro.serve.backpressure`), per-tick
+batching (:mod:`repro.serve.batcher`), the service itself
+(:mod:`repro.serve.service`), and the seeded churn benchmark
+(:mod:`repro.serve.bench`).
+"""
+
+from repro.serve.backpressure import AdmissionQueue, QueueStats, ShedPolicy
+from repro.serve.batcher import Batcher, BatchReport
+from repro.serve.bench import ServeBenchReport, run_serve_bench
+from repro.serve.protocol import Priority, RequestKind, ServiceResponse, SessionRequest
+from repro.serve.service import FabricService, ServiceStats
+from repro.serve.session import Session, SessionState, SessionTable
+
+__all__ = [
+    "AdmissionQueue",
+    "QueueStats",
+    "ShedPolicy",
+    "Batcher",
+    "BatchReport",
+    "ServeBenchReport",
+    "run_serve_bench",
+    "Priority",
+    "RequestKind",
+    "ServiceResponse",
+    "SessionRequest",
+    "FabricService",
+    "ServiceStats",
+    "Session",
+    "SessionState",
+    "SessionTable",
+]

@@ -1,0 +1,158 @@
+"""Session lifecycle bookkeeping for the conference service.
+
+A *session* is the service-side identity of one conference from the
+client's perspective: it survives reroutes, fault-induced drops and
+re-admissions (each bumping ``generation``), and only dies when the
+client closes it — or when the service is told to give up on it, which
+the churn acceptance test asserts never happens under a survivable
+fault timeline.
+
+State machine::
+
+    QUEUED ──admit──> ACTIVE <──recover──> DEGRADED
+      │                 │  ▲                  │
+      │ shed/reject     │  └── re-admit ── DOWN (fault drop, requeued)
+      ▼                 │                     │
+    REJECTED         CLOSED <──close──────────┘        DOWN ──give-up──> LOST
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.serve.protocol import Priority
+
+__all__ = ["SessionState", "Session", "SessionTable"]
+
+
+class SessionState(Enum):
+    """Where a session sits in its lifecycle."""
+
+    QUEUED = "queued"
+    ACTIVE = "active"
+    DEGRADED = "degraded"
+    DOWN = "down"
+    CLOSED = "closed"
+    REJECTED = "rejected"
+    LOST = "lost"
+
+
+#: Legal state transitions (source -> allowed targets).
+_TRANSITIONS: dict[SessionState, frozenset[SessionState]] = {
+    SessionState.QUEUED: frozenset(
+        {SessionState.ACTIVE, SessionState.REJECTED, SessionState.CLOSED}
+    ),
+    SessionState.ACTIVE: frozenset(
+        {SessionState.DEGRADED, SessionState.DOWN, SessionState.CLOSED}
+    ),
+    SessionState.DEGRADED: frozenset(
+        {SessionState.ACTIVE, SessionState.DOWN, SessionState.CLOSED}
+    ),
+    SessionState.DOWN: frozenset(
+        {SessionState.ACTIVE, SessionState.DEGRADED, SessionState.LOST, SessionState.CLOSED}
+    ),
+    SessionState.CLOSED: frozenset(),
+    SessionState.REJECTED: frozenset(),
+    SessionState.LOST: frozenset(),
+}
+
+#: States in which the session holds (or is owed) fabric resources.
+LIVE_STATES = frozenset({SessionState.ACTIVE, SessionState.DEGRADED, SessionState.DOWN})
+
+
+@dataclass
+class Session:
+    """One client conference as the service tracks it."""
+
+    session_id: int
+    members: tuple[int, ...]
+    priority: Priority = Priority.NORMAL
+    state: SessionState = SessionState.QUEUED
+    opened_at: float = 0.0
+    closed_at: "float | None" = None
+    generation: int = 0  # route swaps + re-admissions survived
+    requeues: int = 0  # fault-induced re-admission round trips
+    history: list[str] = field(default_factory=list)
+
+    @property
+    def conference_id(self) -> int:
+        """Sessions map 1:1 onto conference ids in the fabric ledger."""
+        return self.session_id
+
+    @property
+    def live(self) -> bool:
+        """True while the session holds (or is owed) fabric resources."""
+        return self.state in LIVE_STATES
+
+    def transition(self, target: SessionState, at: float) -> None:
+        """Move to ``target``, enforcing the lifecycle state machine."""
+        if target is self.state:
+            return
+        if target not in _TRANSITIONS[self.state]:
+            raise ValueError(
+                f"session {self.session_id}: illegal transition "
+                f"{self.state.value} -> {target.value}"
+            )
+        self.history.append(f"{at:g}:{target.value}")
+        self.state = target
+        if target is SessionState.CLOSED:
+            self.closed_at = at
+
+
+class SessionTable:
+    """The registry of every session the service has ever accepted."""
+
+    def __init__(self) -> None:
+        self._sessions: dict[int, Session] = {}
+        self._next_id = 0
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __iter__(self):
+        return iter(self._sessions.values())
+
+    def __contains__(self, session_id: int) -> bool:
+        return session_id in self._sessions
+
+    def create(
+        self, members: tuple[int, ...], priority: Priority, at: float
+    ) -> Session:
+        """Mint a new QUEUED session with the next free id."""
+        session = Session(
+            session_id=self._next_id,
+            members=members,
+            priority=priority,
+            state=SessionState.QUEUED,
+            opened_at=at,
+        )
+        self._sessions[session.session_id] = session
+        self._next_id += 1
+        return session
+
+    def get(self, session_id: int) -> "Session | None":
+        """The session with this id, or ``None``."""
+        return self._sessions.get(session_id)
+
+    def require(self, session_id: int) -> Session:
+        """The session with this id, or ``KeyError``."""
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise KeyError(f"no session with id {session_id}") from None
+
+    def live(self) -> list[Session]:
+        """Sessions currently holding (or owed) fabric resources."""
+        return [s for s in self._sessions.values() if s.live]
+
+    def in_state(self, state: SessionState) -> list[Session]:
+        """All sessions currently in ``state``, in id order."""
+        return [s for s in self._sessions.values() if s.state is state]
+
+    def counts(self) -> dict[str, int]:
+        """Session tally per lifecycle state (all states present)."""
+        out = {state.value: 0 for state in SessionState}
+        for session in self._sessions.values():
+            out[session.state.value] += 1
+        return out

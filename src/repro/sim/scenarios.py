@@ -110,7 +110,7 @@ def run_availability(
             relay="on" if relay_enabled else "off",
         )
     healing = SelfHealingController(
-        network, retry=retry, seed=jitter_rng, tracer=tracer, metrics=metrics
+        network, retry=retry, rng=jitter_rng, tracer=tracer, metrics=metrics
     )
     injector = FaultInjector(network.topology, script=script, tracer=tracer)
     healing.attach(injector)

@@ -1,0 +1,172 @@
+"""Snapshot tests pinning the public API surface.
+
+``public_api_manifest.txt`` is the reviewed record of what the library
+promises; ``repro.api.__all__`` must match it exactly.  Growing the
+surface is a deliberate act: update the manifest AND ``docs/api.md`` in
+the same change (CI's ``public-api`` job runs this file plus
+``tools/check_public_api.py`` to enforce the pairing).
+"""
+
+import inspect
+import subprocess
+import sys
+import warnings
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro import api
+
+pytestmark = pytest.mark.tier1
+
+REPO = Path(__file__).resolve().parents[2]
+MANIFEST = Path(__file__).with_name("public_api_manifest.txt")
+
+
+class TestManifest:
+    def test_surface_matches_the_manifest(self):
+        recorded = MANIFEST.read_text().split()
+        assert sorted(api.__all__) == recorded, (
+            "repro.api.__all__ drifted from tests/api/public_api_manifest.txt; "
+            "if the change is intentional, update the manifest and docs/api.md"
+        )
+
+    def test_no_duplicates(self):
+        assert len(api.__all__) == len(set(api.__all__))
+
+    def test_every_name_resolves_through_api_and_repro(self):
+        for name in api.__all__:
+            assert getattr(api, name) is getattr(repro, name)
+
+    def test_package_all_is_api_all_plus_version(self):
+        assert set(repro.__all__) == {*api.__all__, "__version__"}
+
+    def test_docs_cover_every_name(self):
+        docs = (REPO / "docs" / "api.md").read_text()
+        missing = [name for name in api.__all__ if f"`{name}`" not in docs]
+        assert not missing, f"docs/api.md does not mention: {missing}"
+
+
+class TestResultContract:
+    def test_conformers(self):
+        from repro.core.healing import SubmitOutcome
+        from repro.core.network import ConferenceNetwork
+        from repro.serve.bench import run_serve_bench
+        from repro.serve.protocol import ServiceResponse
+
+        net = ConferenceNetwork.build("indirect-binary-cube", 16, dilation=8)
+        realization = net.realize([[0, 1, 2]])
+        conformers = [
+            realization,
+            SubmitOutcome("admitted", 0),
+            SubmitOutcome("lost", 1, reason="ports"),
+            ServiceResponse(ok=True, status="admitted", kind="open", request_id=0),
+            run_serve_bench(16, conferences=5, seed=0),
+        ]
+        for value in conformers:
+            assert isinstance(value, api.Result), type(value).__name__
+            payload = value.as_dict()
+            assert "kind" in payload and "ok" in payload
+            if value.ok:
+                assert value.reason is None
+
+    def test_shared_serializer_stamps_the_envelope(self):
+        from repro.core.healing import SubmitOutcome
+        from repro.report.serialize import result_to_dict
+
+        payload = result_to_dict(SubmitOutcome("lost", 3, reason="capacity"))
+        assert payload["kind"] == "submit_outcome"
+        assert payload["ok"] is False
+        assert payload["reason"] == "capacity"
+        assert payload["schema"] == 1
+
+    def test_serializer_rejects_non_results(self):
+        from repro.report.serialize import result_to_dict
+
+        with pytest.raises(TypeError, match="result contract"):
+            result_to_dict(object())
+
+
+class TestConstructorConvention:
+    # Satellite of the 1.1 redesign: every controller-level constructor
+    # spells its collaborators the same way, keyword-only.
+
+    @pytest.mark.parametrize(
+        "cls, expected",
+        [
+            (api.AdmissionController, ["tracer"]),
+            (
+                api.SelfHealingController,
+                ["retry", "rng", "route_cache", "tracer", "metrics"],
+            ),
+            (
+                api.FabricService,
+                ["retry", "rng", "route_cache", "tracer", "metrics"],
+            ),
+        ],
+    )
+    def test_keyword_only_collaborators(self, cls, expected):
+        params = inspect.signature(cls.__init__).parameters
+        for name in expected:
+            assert name in params, f"{cls.__name__} lacks {name}="
+            assert params[name].kind is inspect.Parameter.KEYWORD_ONLY
+
+
+class TestDeprecations:
+    def test_legacy_names_warn_once_per_process(self):
+        code = (
+            "import warnings, repro\n"
+            "with warnings.catch_warnings(record=True) as log:\n"
+            "    warnings.simplefilter('always')\n"
+            "    repro.BuddyAllocator; repro.BuddyAllocator; repro.BuddyAllocator\n"
+            "dep = [w for w in log if issubclass(w.category, DeprecationWarning)]\n"
+            "assert len(dep) == 1, f'expected exactly one warning, got {len(dep)}'\n"
+            "assert 'repro.core.admission' in str(dep[0].message)\n"
+        )
+        subprocess.run(
+            [sys.executable, "-c", code],
+            check=True,
+            env={"PYTHONPATH": str(REPO / "src")},
+        )
+
+    def test_all_legacy_names_resolve_and_point_home(self):
+        for name, (module_name, attr) in repro._LEGACY.items():
+            with warnings.catch_warnings(record=True) as log:
+                warnings.simplefilter("always")
+                # Bypass the cache so each name warns in this process
+                # regardless of earlier accesses.
+                value = repro.__getattr__(name)
+            import importlib
+
+            assert value is getattr(importlib.import_module(module_name), attr)
+            dep = [w for w in log if issubclass(w.category, DeprecationWarning)]
+            assert len(dep) == 1
+            assert module_name in str(dep[0].message)
+
+    def test_stable_names_do_not_warn(self):
+        code = (
+            "import warnings\n"
+            "with warnings.catch_warnings(record=True) as log:\n"
+            "    warnings.simplefilter('always')\n"
+            "    from repro import ConferenceNetwork, FabricService, build\n"
+            "dep = [w for w in log if issubclass(w.category, DeprecationWarning)]\n"
+            "assert not dep, [str(w.message) for w in dep]\n"
+        )
+        subprocess.run(
+            [sys.executable, "-c", code],
+            check=True,
+            env={"PYTHONPATH": str(REPO / "src")},
+        )
+
+    def test_healing_seed_kwarg_warns_but_works(self):
+        from repro.core.network import ConferenceNetwork
+
+        net = ConferenceNetwork.build("indirect-binary-cube", 16)
+        with pytest.warns(DeprecationWarning, match="pass rng="):
+            controller = api.SelfHealingController(net, seed=3)
+        assert controller.network is net
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.definitely_not_a_name

@@ -19,7 +19,7 @@ N_PORTS = 16
 
 def controller(topology="extra-stage-cube", dilation=N_PORTS, retry=None, seed=0):
     network = ConferenceNetwork.build(topology, N_PORTS, dilation=dilation)
-    return SelfHealingController(network, retry=retry, seed=seed)
+    return SelfHealingController(network, retry=retry, rng=seed)
 
 
 def population():
@@ -187,7 +187,8 @@ class TestRetries:
             Conference.of([1, 2], 1),
             on_admitted=lambda lp, route: admitted.append(lp.now),
         )
-        assert result is None  # ports clash right now
+        assert not result and result.pending  # ports clash right now, retrying
+        assert result.reason == "ports"
         loop.run(until=20.0)
         assert admitted == [3.0]
         assert healing.live_conferences == (1,)
@@ -198,18 +199,20 @@ class TestRetries:
         healing.try_join(Conference.of([0, 1], 0))
         lost = []
         loop = EventLoop()
-        healing.submit(
+        outcome = healing.submit(
             loop,
             Conference.of([1, 2], 1),
             on_lost=lambda lp, conf, cause: lost.append(cause),
         )
         assert lost == ["ports"]
+        assert (outcome.ok, outcome.status, outcome.reason) == (False, "lost", "ports")
 
     def test_submit_admits_immediately_when_clear(self):
         healing = controller()
         loop = EventLoop()
-        route = healing.submit(loop, Conference.of([0, 1], 0))
-        assert route is not None
+        outcome = healing.submit(loop, Conference.of([0, 1], 0))
+        assert outcome.ok and outcome.route is not None
+        assert outcome.as_dict()["ok"] is True
         assert healing.live_conferences == (0,)
 
 

@@ -13,8 +13,8 @@ from repro import (
     Conference,
     ConferenceNetwork,
     PAPER_TOPOLOGIES,
-    place_aligned,
 )
+from repro.core.admission import place_aligned
 from repro.analysis.theory import max_multiplicity_bound
 from repro.analysis.worstcase import cube_adversarial_set
 from repro.switching.fabric import CapacityExceeded

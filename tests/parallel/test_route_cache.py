@@ -133,7 +133,7 @@ class TestHealingWithCache:
     @staticmethod
     def _controller(cache=None):
         network = ConferenceNetwork.build("extra-stage-cube", N_PORTS, dilation=N_PORTS)
-        return SelfHealingController(network, seed=0, route_cache=cache), network
+        return SelfHealingController(network, rng=0, route_cache=cache), network
 
     @staticmethod
     def _exercise(healing):
@@ -153,7 +153,7 @@ class TestHealingWithCache:
         plain, _ = self._controller()
         network = ConferenceNetwork.build("extra-stage-cube", N_PORTS, dilation=N_PORTS)
         cache = RouteCache(network.topology, policy=network.policy)
-        cached_ctl = SelfHealingController(network, seed=0, route_cache=cache)
+        cached_ctl = SelfHealingController(network, rng=0, route_cache=cache)
 
         assert self._exercise(plain) == self._exercise(cached_ctl)
         assert cache.stats.hits > 0  # the repair walk reused warm entries

@@ -1,0 +1,100 @@
+"""Churn acceptance tests for the conference service.
+
+The headline criteria from the serving milestone: a 64-port fabric
+sustains ≥500 conferences of seeded churn with bounded queue depth and
+**zero lost sessions** while a fault timeline fires underneath, and the
+metrics artifact is byte-identical across same-seed runs.
+"""
+
+import pytest
+
+from repro.core.healing import RetryPolicy
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.backpressure import ShedPolicy
+from repro.serve.bench import run_serve_bench
+from repro.sim.faults import FaultProcessConfig
+
+pytestmark = pytest.mark.tier1
+
+
+class TestChurnSmall:
+    def test_plain_churn_settles(self):
+        report = run_serve_bench(16, conferences=40, seed=3, arrival_rate=2.0,
+                                 mean_hold_ticks=5.0)
+        assert report.ok
+        assert report.conferences == 40
+        assert report.lost_sessions == 0
+        assert report.session_counts["active"] == 0
+        assert report.session_counts["down"] == 0
+        # Every session that was admitted eventually closed.
+        assert report.service["closed"] == report.service["admitted"]
+
+    def test_report_satisfies_the_result_contract(self):
+        from repro.api import Result
+        from repro.report.serialize import result_to_dict
+
+        report = run_serve_bench(16, conferences=10, seed=0)
+        assert isinstance(report, Result)
+        payload = result_to_dict(report)
+        assert payload["kind"] == "serve_bench"
+        assert payload["ok"] is (payload["reason"] is None)
+        assert payload["schema"] == 1
+
+    def test_resize_churn_exercises_membership_changes(self):
+        report = run_serve_bench(32, conferences=60, seed=5, arrival_rate=3.0,
+                                 mean_hold_ticks=10.0, resize_prob=0.5)
+        assert report.ok
+        assert report.resizes > 0
+        assert report.service["applied"] > 0
+
+    def test_tight_queue_sheds_but_stays_bounded(self):
+        report = run_serve_bench(32, conferences=80, seed=9, arrival_rate=8.0,
+                                 mean_hold_ticks=12.0, queue_capacity=4,
+                                 shed_policy=ShedPolicy.SHED_LARGEST, max_batch=2)
+        assert report.peak_queue_depth <= 4
+        assert report.lost_sessions == 0
+
+
+class TestChurnAcceptance:
+    """The milestone run: N=64, 500+ conferences, live faults."""
+
+    KWARGS = dict(
+        conferences=500,
+        seed=42,
+        arrival_rate=5.0,
+        mean_size=3.5,
+        mean_hold_ticks=12.0,
+        resize_prob=0.25,
+        queue_capacity=128,
+        retry=RetryPolicy(max_retries=5, base_delay=1.0),
+        fault_process=FaultProcessConfig(
+            mean_time_to_failure=800.0, mean_time_to_repair=4.0
+        ),
+    )
+
+    def test_sustains_500_conferences_under_faults(self):
+        registry = MetricsRegistry()
+        report = run_serve_bench(64, metrics=registry, **self.KWARGS)
+        assert report.ok, report.reason
+        assert report.conferences == 500
+        assert report.lost_sessions == 0
+        assert report.fault_transitions > 0
+        assert report.peak_queue_depth <= 128
+        for state in ("queued", "active", "degraded", "down"):
+            assert report.session_counts[state] == 0
+        assert report.service["admitted"] >= 400
+
+    def test_metrics_artifact_is_byte_identical_across_runs(self, tmp_path):
+        paths = []
+        for run in ("a", "b"):
+            registry = MetricsRegistry()
+            run_serve_bench(64, metrics=registry, **self.KWARGS)
+            path = tmp_path / f"metrics-{run}.prom"
+            registry.write(str(path))
+            paths.append(path)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_report_is_reproducible(self):
+        a = run_serve_bench(64, **self.KWARGS).as_dict()
+        b = run_serve_bench(64, **self.KWARGS).as_dict()
+        assert a == b

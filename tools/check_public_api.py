@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Fail when the public API surface drifts from its reviewed records.
+
+Checks, in order:
+
+1. ``repro.api.__all__`` matches ``tests/api/public_api_manifest.txt``
+   exactly (sorted, no duplicates, every name importable).
+2. Every surface name resolves identically through ``repro`` and
+   ``repro.api`` (the facade really is the route).
+3. ``docs/api.md`` mentions every surface name in backticks.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/check_public_api.py
+
+CI's ``public-api`` job runs this plus ``tests/api``; together they make
+surface changes fail loudly unless the manifest and docs move in the
+same commit.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+MANIFEST = REPO / "tests" / "api" / "public_api_manifest.txt"
+DOCS = REPO / "docs" / "api.md"
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO / "src"))
+    import repro
+    from repro import api
+
+    failures: list[str] = []
+
+    recorded = MANIFEST.read_text().split()
+    current = sorted(api.__all__)
+    if len(api.__all__) != len(set(api.__all__)):
+        failures.append("repro.api.__all__ contains duplicates")
+    if current != recorded:
+        added = sorted(set(current) - set(recorded))
+        removed = sorted(set(recorded) - set(current))
+        failures.append(
+            "repro.api.__all__ drifted from tests/api/public_api_manifest.txt"
+            + (f" (added: {added})" if added else "")
+            + (f" (removed: {removed})" if removed else "")
+            + "; regenerate the manifest and update docs/api.md"
+        )
+
+    for name in current:
+        try:
+            via_api = getattr(api, name)
+            via_pkg = getattr(repro, name)
+        except AttributeError as exc:
+            failures.append(f"surface name {name!r} does not resolve: {exc}")
+            continue
+        if via_api is not via_pkg:
+            failures.append(
+                f"'from repro import {name}' does not route through repro.api"
+            )
+
+    docs = DOCS.read_text() if DOCS.exists() else ""
+    if not docs:
+        failures.append("docs/api.md is missing")
+    else:
+        missing = [name for name in current if f"`{name}`" not in docs]
+        if missing:
+            failures.append(f"docs/api.md does not mention: {missing}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"public API surface OK ({len(current)} names, API {api.API_VERSION})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
