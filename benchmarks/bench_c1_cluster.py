@@ -1,0 +1,114 @@
+"""Cluster C1 — sharded scaling, shard-count invariance, and drill costs.
+
+The serve bench (S1) measures one fabric; this bench measures the
+cluster facade running many of them.  Two tables:
+
+* **shard arms** — the same seeded churn at 1/2/4/8 shards: the
+  client-visible metrics must be identical (the shard-count-invariance
+  contract), while per-shard load spreads across the pool;
+* **drill arms** — healthy churn vs a shard-kill failover vs an elastic
+  scale-up, all under the same seed: what each drill costs in moves,
+  and the zero-lost-sessions invariant through every one of them.
+"""
+
+import json
+
+from _common import emit
+
+from repro.cluster.bench import run_cluster_bench
+from repro.sim.faults import FaultProcessConfig
+
+CHURN = dict(
+    ports=16,
+    conferences=200,
+    seed=0,
+    arrival_rate=4.0,
+    mean_size=4.0,
+    mean_hold_ticks=15.0,
+    resize_prob=0.25,
+)
+FAULTS = FaultProcessConfig(mean_time_to_failure=300.0, mean_time_to_repair=6.0)
+
+
+def shard_rows():
+    rows = []
+    invariants = []
+    for shards in (1, 2, 4, 8):
+        report = run_cluster_bench(shards=shards, **CHURN)
+        invariants.append(json.dumps(report.invariant(), sort_keys=True))
+        cl = report.cluster
+        busiest = max(
+            info["service"]["admitted"] for info in report.per_shard.values()
+        )
+        rows.append(
+            {
+                "shards": shards,
+                "admitted": cl["admitted"],
+                "applied": cl["applied"],
+                "rejected": cl["rejected"],
+                "mean_latency": round(cl["mean_admission_latency"], 2),
+                "busiest_shard": busiest,
+                "lost": report.lost_sessions,
+            }
+        )
+    return rows, invariants
+
+
+def drill_rows():
+    rows = []
+    arms = (
+        ("healthy", dict()),
+        ("shard kill + faults", dict(kill_shard_at=8, fault_process=FAULTS)),
+        ("elastic scale-up", dict(add_shard_at=12)),
+    )
+    for label, extra in arms:
+        report = run_cluster_bench(shards=4, **CHURN, **extra)
+        cl = report.cluster
+        rows.append(
+            {
+                "drill": label,
+                "admitted": cl["admitted"],
+                "failovers": cl["failovers"],
+                "migrations": cl["migrations"],
+                "transitions": report.fault_transitions,
+                "consistency": "ok" if not report.consistency else "BROKEN",
+                "lost": report.lost_sessions,
+            }
+        )
+    return rows
+
+
+def test_c1_cluster(benchmark):
+    benchmark(
+        lambda: run_cluster_bench(
+            shards=2,
+            ports=16,
+            conferences=40,
+            seed=0,
+            arrival_rate=4.0,
+            mean_hold_ticks=8.0,
+        )
+    )
+
+    rows, invariants = shard_rows()
+    emit(
+        "c1_cluster_shards",
+        rows,
+        title="C1: identical churn across shard counts (client metrics invariant)",
+    )
+    # The headline contract: the client-visible story is byte-identical
+    # no matter how many shards serve it.
+    assert len(set(invariants)) == 1
+    assert all(r["lost"] == 0 for r in rows)
+
+    rows = drill_rows()
+    emit(
+        "c1_cluster_drills",
+        rows,
+        title="C1: failover and elastic drills under seeded churn (4 shards)",
+    )
+    # Drills cost moves, never sessions.
+    assert all(r["lost"] == 0 for r in rows)
+    assert all(r["consistency"] == "ok" for r in rows)
+    killed = next(r for r in rows if "kill" in r["drill"])
+    assert killed["failovers"] > 0 and killed["transitions"] > 0

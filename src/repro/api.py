@@ -34,6 +34,11 @@ from repro.core.conference import Conference, ConferenceSet
 from repro.core.conflict import ConflictReport, analyze_conflicts
 from repro.core.healing import RetryPolicy, SelfHealingController, SubmitOutcome
 from repro.core.network import ConferenceNetwork, RealizationResult
+from repro.cluster.bench import ClusterBenchReport, run_cluster_bench
+from repro.cluster.controller import ClusterService, ClusterStats, ShardInfo, ShardState
+from repro.cluster.directory import DirectoryEntry, SessionDirectory
+from repro.cluster.placement import place_shard, rank_shards
+from repro.cluster.rebalance import RebalancePlan, plan_rebalance
 from repro.core.routing import (
     Route,
     RoutingPolicy,
@@ -62,7 +67,7 @@ from repro.topology.network import MultistageNetwork
 
 #: Version of the public surface (bumped on any additive change; the
 #: library version tracks releases, this tracks the API contract).
-API_VERSION = "1.1"
+API_VERSION = "1.2"
 
 
 @runtime_checkable
@@ -140,6 +145,19 @@ __all__ = [
     "SessionTable",
     "ServeBenchReport",
     "run_serve_bench",
+    # the sharded cluster layer
+    "ClusterService",
+    "ClusterStats",
+    "ShardInfo",
+    "ShardState",
+    "SessionDirectory",
+    "DirectoryEntry",
+    "RebalancePlan",
+    "plan_rebalance",
+    "place_shard",
+    "rank_shards",
+    "ClusterBenchReport",
+    "run_cluster_bench",
     # observability
     "Tracer",
     "MetricsRegistry",

@@ -16,6 +16,8 @@ quick interactive inspection of networks and conference routings::
     conference-net trace --ports 16 --out trace.jsonl
     conference-net serve --ports 32 --load 0.5
     conference-net bench-serve --ports 64 --conferences 500 --faults
+    conference-net cluster --ports 16 --shards 4 --kill-at 10 --add-at 30
+    conference-net bench-cluster --ports 16 --shards 4 --invariant-json inv.json
 
 Observability: ``availability``, ``faults``, and ``sweep`` accept
 ``--trace-out``/``--metrics-out`` to export a JSONL event trace and a
@@ -319,6 +321,73 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_serve.add_argument("--json", metavar="PATH", help="write the report as JSON (shared result schema)")
     _add_telemetry_flags(bench_serve)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="sharded multi-fabric drill: failover and elastic scale-up",
+    )
+    cluster.add_argument("--topology", default="indirect-binary-cube", choices=sorted(TOPOLOGY_BUILDERS))
+    cluster.add_argument("--ports", type=int, default=16, help="ports per shard fabric")
+    cluster.add_argument("--shards", type=int, default=4)
+    cluster.add_argument("--conferences", type=int, default=120)
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--arrival-rate", type=float, default=4.0, help="mean conference opens per tick")
+    cluster.add_argument("--mean-hold", type=float, default=20.0, help="mean session lifetime (ticks)")
+    cluster.add_argument("--resize-prob", type=float, default=0.2, help="per-tick chance of one join/leave")
+    cluster.add_argument(
+        "--kill-at", type=int, default=10, metavar="TICK",
+        help="fail the busiest shard at this tick (negative disables)",
+    )
+    cluster.add_argument(
+        "--add-at", type=int, default=30, metavar="TICK",
+        help="scale a fresh shard in at this tick (negative disables)",
+    )
+    cluster.add_argument(
+        "--faults",
+        action="store_true",
+        help="also fire seeded per-shard link-fault timelines underneath",
+    )
+    cluster.add_argument("--mttf", type=float, default=400.0, help="mean time to failure per link")
+    cluster.add_argument("--mttr", type=float, default=5.0, help="mean time to repair per link")
+    cluster.add_argument("--retries", type=int, default=5, help="retry budget (0 disables retries)")
+    cluster.add_argument("--migration-budget", type=int, default=8, help="moves started per tick")
+    cluster.add_argument("--json", metavar="PATH", help="write the report as JSON (shared result schema)")
+    _add_telemetry_flags(cluster)
+
+    bench_cluster = sub.add_parser(
+        "bench-cluster",
+        help="seeded churn benchmark of the cluster (shard-count-invariant metrics)",
+    )
+    bench_cluster.add_argument("--topology", default="indirect-binary-cube", choices=sorted(TOPOLOGY_BUILDERS))
+    bench_cluster.add_argument("--ports", type=int, default=16, help="ports per shard fabric")
+    bench_cluster.add_argument("--shards", type=int, default=2)
+    bench_cluster.add_argument(
+        "--dilation", type=int, default=None,
+        help="links per stage hop (default: one per port, so capacity never denies)",
+    )
+    bench_cluster.add_argument("--conferences", type=int, default=200)
+    bench_cluster.add_argument("--seed", type=int, default=0)
+    bench_cluster.add_argument("--arrival-rate", type=float, default=4.0, help="mean conference opens per tick")
+    bench_cluster.add_argument("--mean-size", type=float, default=4.0, help="mean conference size (ports)")
+    bench_cluster.add_argument("--mean-hold", type=float, default=20.0, help="mean session lifetime (ticks)")
+    bench_cluster.add_argument("--resize-prob", type=float, default=0.2, help="per-tick chance of one join/leave")
+    bench_cluster.add_argument("--queue-capacity", type=int, default=256)
+    bench_cluster.add_argument(
+        "--shed-policy",
+        default="reject-newest",
+        choices=sorted(p.value for p in ShedPolicy),
+    )
+    bench_cluster.add_argument("--max-batch", type=int, default=256)
+    bench_cluster.add_argument("--retries", type=int, default=0, help="retry budget (0 disables retries)")
+    bench_cluster.add_argument("--migration-budget", type=int, default=8, help="moves started per tick")
+    bench_cluster.add_argument("--json", metavar="PATH", help="write the full report as JSON (shared result schema)")
+    bench_cluster.add_argument(
+        "--invariant-json",
+        metavar="PATH",
+        help="write the shard-count-invariant metrics as JSON (byte-identical "
+        "for a fixed seed across shard counts; the determinism CI job cmp's these)",
+    )
+    _add_telemetry_flags(bench_cluster)
     return parser
 
 
@@ -759,6 +828,130 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster.bench import run_cluster_bench
+    from repro.sim.faults import FaultProcessConfig
+
+    tracer, registry = _telemetry(args)
+    retry = RetryPolicy(max_retries=args.retries) if args.retries > 0 else None
+    process = (
+        FaultProcessConfig(mean_time_to_failure=args.mttf, mean_time_to_repair=args.mttr)
+        if args.faults
+        else None
+    )
+    report = run_cluster_bench(
+        topology=args.topology,
+        ports=args.ports,
+        shards=args.shards,
+        conferences=args.conferences,
+        seed=args.seed,
+        arrival_rate=args.arrival_rate,
+        mean_hold_ticks=args.mean_hold,
+        resize_prob=args.resize_prob,
+        retry=retry,
+        migration_budget=args.migration_budget,
+        fault_process=process,
+        kill_shard_at=args.kill_at if args.kill_at >= 0 else None,
+        add_shard_at=args.add_at if args.add_at >= 0 else None,
+        tracer=tracer,
+        metrics=registry,
+    )
+    shard_rows = [
+        {
+            "shard": sid,
+            "state": info["state"],
+            "admitted": info["service"]["admitted"],
+            "closed": info["service"]["closed"],
+            "requeues": info["service"]["requeues"],
+        }
+        for sid, info in sorted(report.per_shard.items())
+    ]
+    print(render_table(
+        shard_rows,
+        columns=["shard", "state", "admitted", "closed", "requeues"],
+        title=f"cluster drill ({args.topology}, N={args.ports} per shard, "
+        f"{args.shards} shards, seed={args.seed})",
+    ))
+    cl = report.cluster
+    drill = []
+    if report.killed_shard is not None:
+        drill.append(f"killed {report.killed_shard} at tick {report.kill_tick}")
+    if report.added_shard is not None:
+        drill.append(
+            f"added {report.added_shard} "
+            f"(rebalanced {report.rebalance_fraction:.0%} of live sessions)"
+        )
+    print(
+        f"\n{cl['admitted']} admitted, {cl['closed']} closed over {report.ticks} ticks; "
+        f"{cl['failovers']} failover moves, {cl['migrations']} rebalance moves, "
+        f"{report.lost_sessions} sessions lost"
+        + (f"; drill: {', '.join(drill)}" if drill else "")
+    )
+    if report.consistency:
+        for problem in report.consistency:
+            print(f"INCONSISTENT: {problem}")
+    print(f"\nresult: {'ok' if report.ok else 'FAILED: ' + str(report.reason)}")
+    if args.json:
+        save_json(args.json, result_to_dict(report))
+        print(f"report written to {args.json}")
+    _write_telemetry(args, tracer, registry)
+    return 0 if report.ok else 1
+
+
+def _cmd_bench_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster.bench import run_cluster_bench
+
+    tracer, registry = _telemetry(args)
+    retry = RetryPolicy(max_retries=args.retries) if args.retries > 0 else None
+    report = run_cluster_bench(
+        topology=args.topology,
+        ports=args.ports,
+        shards=args.shards,
+        dilation=args.dilation,
+        conferences=args.conferences,
+        seed=args.seed,
+        arrival_rate=args.arrival_rate,
+        mean_size=args.mean_size,
+        mean_hold_ticks=args.mean_hold,
+        resize_prob=args.resize_prob,
+        queue_capacity=args.queue_capacity,
+        shed_policy=args.shed_policy,
+        max_batch=args.max_batch,
+        retry=retry,
+        migration_budget=args.migration_budget,
+        tracer=tracer,
+        metrics=registry,
+    )
+    cl = report.cluster
+    rows = [
+        {"metric": "conferences offered", "value": report.conferences},
+        {"metric": "shards", "value": report.shards},
+        {"metric": "ticks (incl. drain)", "value": report.ticks},
+        {"metric": "throughput (admits/tick)", "value": round(report.throughput, 3)},
+        {"metric": "admitted", "value": cl["admitted"]},
+        {"metric": "membership changes applied", "value": cl["applied"]},
+        {"metric": "closed", "value": cl["closed"]},
+        {"metric": "rejected", "value": cl["rejected"]},
+        {"metric": "sessions lost", "value": report.lost_sessions},
+        {"metric": "peak queue depth", "value": report.peak_queue_depth},
+        {"metric": "mean admission latency (ticks)", "value": round(cl["mean_admission_latency"], 3)},
+    ]
+    print(render_table(
+        rows,
+        title=f"cluster bench ({args.topology}, N={args.ports} per shard, "
+        f"{args.shards} shards, seed={args.seed})",
+    ))
+    print(f"\nresult: {'ok' if report.ok else 'FAILED: ' + str(report.reason)}")
+    if args.json:
+        save_json(args.json, result_to_dict(report))
+        print(f"report written to {args.json}")
+    if args.invariant_json:
+        save_json(args.invariant_json, report.invariant())
+        print(f"invariant metrics written to {args.invariant_json}")
+    _write_telemetry(args, tracer, registry)
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "show": _cmd_show,
     "route": _cmd_route,
@@ -772,6 +965,8 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "serve": _cmd_serve,
     "bench-serve": _cmd_bench_serve,
+    "cluster": _cmd_cluster,
+    "bench-cluster": _cmd_bench_cluster,
 }
 
 

@@ -1,0 +1,43 @@
+"""Sharded multi-fabric cluster layer.
+
+One fabric serves disjoint conferences within its N ports; this package
+scales the paper's switching fabric horizontally by running a pool of
+:class:`~repro.serve.service.FabricService` shards behind one facade:
+
+* :mod:`repro.cluster.placement` — weighted rendezvous (HRW) hashing of
+  conference ids onto shards, with the minimal-disruption bound.
+* :mod:`repro.cluster.directory` — the cluster-wide session directory
+  mapping cluster sessions to shard generations through migrations.
+* :mod:`repro.cluster.rebalance` — placement-delta planning and the
+  per-tick migration budget.
+* :mod:`repro.cluster.controller` — :class:`ClusterService`: placement-
+  routed admission, lockstep shard ticks, graceful drain, and the
+  shard-failure drill (zero lost sessions).
+* :mod:`repro.cluster.bench` — the seeded churn benchmark whose
+  client-visible metrics are byte-identical across shard counts.
+"""
+
+from repro.cluster.bench import ClusterBenchReport, run_cluster_bench
+from repro.cluster.controller import ClusterService, ClusterStats, ShardInfo, ShardState
+from repro.cluster.directory import DirectoryEntry, EntryState, SessionDirectory
+from repro.cluster.placement import place_shard, rank_shards, shard_score
+from repro.cluster.rebalance import MigrationQueue, Move, RebalancePlan, plan_rebalance
+
+__all__ = [
+    "ClusterBenchReport",
+    "ClusterService",
+    "ClusterStats",
+    "DirectoryEntry",
+    "EntryState",
+    "MigrationQueue",
+    "Move",
+    "RebalancePlan",
+    "SessionDirectory",
+    "ShardInfo",
+    "ShardState",
+    "place_shard",
+    "plan_rebalance",
+    "rank_shards",
+    "run_cluster_bench",
+    "shard_score",
+]

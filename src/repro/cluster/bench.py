@@ -1,0 +1,438 @@
+"""Seeded churn benchmark for the sharded cluster.
+
+``run_cluster_bench`` drives one :class:`~repro.cluster.controller.ClusterService`
+with the same synthetic workload shape as the per-fabric serve bench —
+Poisson conference arrivals over a shared logical port pool, geometric
+holding times, optional membership churn — plus the cluster-only drills:
+a shard kill at a chosen tick (with optional per-shard fault timelines
+firing underneath) and an elastic scale-up mid-run.
+
+**Shard-count invariance.** In plain mode (no faults, no kill, no
+scale event) the client-visible metrics are *byte-identical* for a
+fixed seed regardless of how many shards the cluster runs:
+
+* the workload derives entirely from the seed (the RNG stream layout
+  mirrors the serve bench), never from cluster state;
+* members come from one global port pool, so concurrent conferences
+  are port-disjoint and no shard ever denies on port conflicts;
+* shard fabrics are built with generous dilation (default: one slot
+  per port), so capacity never denies either;
+* shards tick in lockstep, so admission latency is a pure function of
+  the tick schedule, not of the placement mapping.
+
+:meth:`ClusterBenchReport.invariant` returns exactly the fields this
+argument covers; the acceptance test diffs its JSON bytes across shard
+counts 1/2/4/8, and the CI determinism job ``cmp``'s the files the CLI
+writes.  Drill modes (kill/faults/scale) are exempt from invariance but
+must still finish with **zero lost sessions** and a consistent
+directory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.cluster.controller import ClusterService, ShardState
+from repro.cluster.directory import EntryState
+from repro.core.network import ConferenceNetwork
+from repro.serve.backpressure import ShedPolicy
+from repro.serve.protocol import ServiceResponse
+from repro.sim.faults import generate_fault_timeline
+from repro.util.rng import ensure_rng
+from repro.util.validation import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.core.healing import RetryPolicy
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import Tracer
+    from repro.sim.faults import FaultProcessConfig
+
+__all__ = ["ClusterBenchReport", "run_cluster_bench"]
+
+
+@dataclass
+class ClusterBenchReport:
+    """Outcome of one cluster churn run (shared result contract)."""
+
+    topology: str
+    n_ports: int
+    shards: int  # shard count at launch
+    seed: int
+    conferences: int  # opens actually offered
+    ticks: int
+    drain_ticks: int
+    starved_arrivals: int  # arrivals skipped for want of free ports
+    resizes: int
+    fault_transitions: int
+    killed_shard: "str | None"
+    kill_tick: "int | None"
+    added_shard: "str | None"
+    rebalance_fraction: "float | None"  # of the scale-up plan, if any
+    queue_capacity: int
+    shed_policy: str
+    peak_queue_depth: int  # max over shards (NOT shard-count invariant)
+    lost_sessions: int
+    consistency: list[str] = field(default_factory=list)
+    session_counts: dict[str, int] = field(default_factory=dict)
+    cluster: dict[str, Any] = field(default_factory=dict)
+    per_shard: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Did the cluster sustain: nothing lost, directory consistent."""
+        return self.lost_sessions == 0 and not self.consistency
+
+    @property
+    def reason(self) -> "str | None":
+        """Why the run failed the sustain criteria (``None`` when ok)."""
+        if self.lost_sessions:
+            return f"{self.lost_sessions} session(s) lost"
+        if self.consistency:
+            return f"directory inconsistent: {self.consistency[0]}"
+        return None
+
+    @property
+    def throughput(self) -> float:
+        """Admitted conferences per tick."""
+        admitted = self.cluster.get("admitted", 0)
+        return admitted / self.ticks if self.ticks else 0.0
+
+    def invariant(self) -> dict[str, Any]:
+        """The client-visible metrics that are shard-count invariant.
+
+        For a fixed seed in plain mode, this dict is byte-identical
+        (through sorted-key JSON) across shard counts — the determinism
+        CI job and ``tests/cluster/test_bench.py`` compare exactly this.
+        """
+        return {
+            "kind": "cluster_bench_invariant",
+            "topology": self.topology,
+            "n_ports": self.n_ports,
+            "seed": self.seed,
+            "conferences": self.conferences,
+            "ticks": self.ticks,
+            "drain_ticks": self.drain_ticks,
+            "starved_arrivals": self.starved_arrivals,
+            "resizes": self.resizes,
+            "offered": self.cluster.get("offered", 0),
+            "admitted": self.cluster.get("admitted", 0),
+            "applied": self.cluster.get("applied", 0),
+            "closed": self.cluster.get("closed", 0),
+            "rejected": self.cluster.get("rejected", 0),
+            "errors": self.cluster.get("errors", 0),
+            "mean_admission_latency": self.cluster.get("mean_admission_latency", 0.0),
+            "max_admission_latency": self.cluster.get("max_admission_latency", 0.0),
+            "outcomes": dict(self.cluster.get("outcomes", {})),
+            "lost_sessions": self.lost_sessions,
+            "session_counts": dict(self.session_counts),
+        }
+
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-ready view (the shared result-serializer contract)."""
+        return {
+            "kind": "cluster_bench",
+            "ok": self.ok,
+            "reason": self.reason,
+            "topology": self.topology,
+            "n_ports": self.n_ports,
+            "shards": self.shards,
+            "seed": self.seed,
+            "conferences": self.conferences,
+            "ticks": self.ticks,
+            "drain_ticks": self.drain_ticks,
+            "throughput": self.throughput,
+            "starved_arrivals": self.starved_arrivals,
+            "resizes": self.resizes,
+            "fault_transitions": self.fault_transitions,
+            "killed_shard": self.killed_shard,
+            "kill_tick": self.kill_tick,
+            "added_shard": self.added_shard,
+            "rebalance_fraction": self.rebalance_fraction,
+            "queue_capacity": self.queue_capacity,
+            "shed_policy": self.shed_policy,
+            "peak_queue_depth": self.peak_queue_depth,
+            "lost_sessions": self.lost_sessions,
+            "consistency": list(self.consistency),
+            "session_counts": dict(self.session_counts),
+            "cluster": dict(self.cluster),
+            "per_shard": dict(self.per_shard),
+        }
+
+
+class _PortPool:
+    """Free-port bookkeeping with deterministic sampling order.
+
+    The pool spans the cluster's *logical* endpoint space (one fabric's
+    port range): concurrent conferences are therefore port-disjoint no
+    matter which shard hosts them, which is one leg of the shard-count
+    invariance argument above.
+    """
+
+    def __init__(self, n_ports: int):
+        self._free = list(range(n_ports))  # kept sorted
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    def grab(self, rng, count: int) -> tuple[int, ...]:
+        """Remove and return ``count`` uniformly-chosen free ports."""
+        picked = rng.choice(len(self._free), size=count, replace=False)
+        ports = tuple(sorted(self._free[i] for i in picked))
+        for p in ports:
+            self._free.remove(p)
+        return ports
+
+    def release(self, ports) -> None:
+        """Return ports to the pool (kept sorted for determinism)."""
+        for p in ports:
+            self._free.append(p)
+        self._free.sort()
+
+
+def run_cluster_bench(
+    *,
+    topology: str = "indirect-binary-cube",
+    ports: int = 16,
+    shards: int = 2,
+    dilation: "int | None" = None,
+    conferences: int = 200,
+    seed: int = 0,
+    arrival_rate: float = 4.0,
+    mean_size: float = 4.0,
+    max_size: "int | None" = None,
+    mean_hold_ticks: float = 20.0,
+    resize_prob: float = 0.0,
+    queue_capacity: int = 256,
+    shed_policy: "ShedPolicy | str" = ShedPolicy.REJECT_NEWEST,
+    max_batch: int = 256,
+    retry: "RetryPolicy | None" = None,
+    migration_budget: int = 8,
+    fault_process: "FaultProcessConfig | None" = None,
+    fault_horizon: "float | None" = None,
+    kill_shard_at: "int | None" = None,
+    add_shard_at: "int | None" = None,
+    tracer: "Tracer | None" = None,
+    metrics: "MetricsRegistry | None" = None,
+    max_ticks: "int | None" = None,
+) -> ClusterBenchReport:
+    """Run a seeded churn workload against a fresh cluster.
+
+    ``shards`` fabrics of ``ports`` ports each (``dilation`` defaults to
+    ``ports`` — generous enough that capacity never denies, see module
+    docstring) serve ``conferences`` opens at ``arrival_rate`` per tick.
+    ``kill_shard_at`` fails the busiest shard at that tick (the failover
+    drill); ``add_shard_at`` scales a fresh shard in and rebalances;
+    ``fault_process`` attaches an independent per-shard fault timeline.
+    """
+    check_positive(arrival_rate, "arrival_rate")
+    check_positive(mean_hold_ticks, "mean_hold_ticks")
+    if conferences < 1:
+        raise ValueError(f"conferences must be >= 1, got {conferences}")
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    dil = ports if dilation is None else dilation
+    base = ensure_rng(seed)
+    # Stream order is part of the file format of this benchmark (it
+    # deliberately mirrors the serve bench): reorder it and every
+    # same-seed comparison with older runs breaks.
+    arrivals_rng, size_rng, member_rng, hold_rng, resize_rng, fault_rng, service_rng = (
+        base.spawn(7)
+    )
+
+    def factory(shard_id: str) -> ConferenceNetwork:
+        return ConferenceNetwork.build(topology, ports, dilation=dil)
+
+    cluster = ClusterService(
+        factory,
+        shards=shards,
+        retry=retry,
+        rng=service_rng,
+        tracer=tracer,
+        metrics=metrics,
+        queue_capacity=queue_capacity,
+        shed_policy=shed_policy,
+        max_batch=max_batch,
+        migration_budget=migration_budget,
+    )
+    injectors = []
+    if fault_process is not None:
+        if fault_horizon is None:
+            fault_horizon = 4.0 * conferences / arrival_rate + 8.0 * mean_hold_ticks
+        for shard_id in sorted(cluster.shards):
+            shard = cluster.shards[shard_id]
+            (shard_fault_rng,) = fault_rng.spawn(1)
+            timeline = generate_fault_timeline(
+                shard.service.network.topology,
+                fault_process,
+                fault_horizon,
+                seed=shard_fault_rng,
+            )
+            injectors.append(cluster.attach_faults(shard_id, timeline))
+
+    directory = cluster.directory
+    pool = _PortPool(ports)
+    closes_due: dict[int, list[int]] = {}
+    outstanding = [0]  # submitted requests awaiting a terminal response
+    starved = [0]
+    resizes = [0]
+    killed_shard: "list[str | None]" = [None]
+    added_shard: "list[str | None]" = [None]
+    rebalance_fraction: "list[float | None]" = [None]
+
+    def finish(fn):
+        def callback(response: ServiceResponse) -> None:
+            outstanding[0] -= 1
+            fn(response)
+
+        return callback
+
+    def on_opened(hold: int):
+        # The hold is drawn at *submit* time: shard fan-out reorders
+        # completion callbacks by shard, so drawing here would map the
+        # hold stream onto different sessions per shard count.
+        def callback(response: ServiceResponse) -> None:
+            csid = response.session_id
+            if response.ok:
+                closes_due.setdefault(tick[0] + max(hold, 1), []).append(csid)
+            else:
+                pool.release(directory.require(csid).members)
+
+        return callback
+
+    def on_closed(response: ServiceResponse) -> None:
+        entry = directory.require(response.session_id)
+        if response.ok:
+            pool.release(entry.members)
+        elif entry.live:
+            # A close bounced off a failing/migrating shard; the session
+            # still owns its ports, so try again shortly.
+            closes_due.setdefault(tick[0] + 1, []).append(entry.cluster_session_id)
+
+    def on_join(ports_taken):
+        def callback(response: ServiceResponse) -> None:
+            if not response.ok:
+                pool.release(ports_taken)
+
+        return callback
+
+    def on_leave(ports_freed):
+        def callback(response: ServiceResponse) -> None:
+            if response.ok:
+                pool.release(ports_freed)
+
+        return callback
+
+    def open_one() -> bool:
+        want = 2 + int(size_rng.poisson(max(mean_size - 2.0, 0.0)))
+        if max_size is not None:
+            want = min(want, max_size)
+        if len(pool) < max(want, 2):
+            starved[0] += 1
+            return False
+        members = pool.grab(member_rng, max(want, 2))
+        hold = int(hold_rng.geometric(min(1.0, 1.0 / mean_hold_ticks)))
+        outstanding[0] += 1
+        cluster.submit_open(members, on_complete=finish(on_opened(hold)))
+        return True
+
+    def churn_resize() -> None:
+        active = sorted(
+            e.cluster_session_id for e in directory if e.state is EntryState.ACTIVE
+        )
+        if not active:
+            return
+        csid = active[int(resize_rng.integers(len(active)))]
+        entry = directory.require(csid)
+        grow = bool(resize_rng.integers(2))
+        if grow and len(pool):
+            taken = pool.grab(member_rng, 1)
+            outstanding[0] += 1
+            cluster.submit_join(csid, taken, on_complete=finish(on_join(taken)))
+            resizes[0] += 1
+        elif not grow and len(entry.members) > 2:
+            port = entry.members[int(resize_rng.integers(len(entry.members)))]
+            outstanding[0] += 1
+            cluster.submit_leave(csid, (port,), on_complete=finish(on_leave((port,))))
+            resizes[0] += 1
+
+    def kill_busiest_shard() -> None:
+        actives = sorted(
+            sid for sid, s in cluster.shards.items() if s.state is ShardState.ACTIVE
+        )
+        if len(actives) < 2:
+            return  # refuse to orphan the whole population
+        victim = max(actives, key=lambda sid: (len(directory.on_shard(sid)), -actives.index(sid)))
+        killed_shard[0] = victim
+        cluster.fail_shard(victim)
+
+    tick = [0]
+    opened = 0
+    budget = max_ticks if max_ticks is not None else max(200, conferences * 100)
+    while (
+        opened < conferences
+        or outstanding[0]
+        or closes_due
+        or any(e.live for e in directory)
+    ):
+        if tick[0] >= budget:
+            raise RuntimeError(
+                f"cluster bench did not settle within {budget} ticks "
+                f"({opened}/{conferences} opened, {outstanding[0]} outstanding)"
+            )
+        if kill_shard_at is not None and tick[0] == kill_shard_at:
+            kill_busiest_shard()
+        if add_shard_at is not None and tick[0] == add_shard_at:
+            new_id, plan = cluster.scale_up()
+            added_shard[0] = new_id
+            rebalance_fraction[0] = plan.fraction
+        if opened < conferences:
+            for _ in range(int(arrivals_rng.poisson(arrival_rate))):
+                if opened >= conferences:
+                    break
+                if open_one():
+                    opened += 1
+        for csid in sorted(closes_due.pop(tick[0], [])):
+            if directory.require(csid).live:
+                outstanding[0] += 1
+                cluster.submit_close(csid, on_complete=finish(on_closed))
+        if resize_prob and float(resize_rng.random()) < resize_prob:
+            churn_resize()
+        cluster.tick()
+        tick[0] += 1
+
+    consistency = cluster.check_consistency()
+    before = cluster.stats.ticks
+    counts = cluster.shutdown()
+    peak = max(
+        (s.service.queue.stats.peak_depth for s in cluster.shards.values()), default=0
+    )
+    return ClusterBenchReport(
+        topology=topology,
+        n_ports=ports,
+        shards=shards,
+        seed=seed,
+        conferences=opened,
+        ticks=cluster.stats.ticks,
+        drain_ticks=cluster.stats.ticks - before,
+        starved_arrivals=starved[0],
+        resizes=resizes[0],
+        fault_transitions=sum(len(inj.history) for inj in injectors),
+        killed_shard=killed_shard[0],
+        kill_tick=kill_shard_at if killed_shard[0] is not None else None,
+        added_shard=added_shard[0],
+        rebalance_fraction=rebalance_fraction[0],
+        queue_capacity=queue_capacity,
+        shed_policy=str(
+            shed_policy.value if isinstance(shed_policy, ShedPolicy) else shed_policy
+        ),
+        peak_queue_depth=peak,
+        lost_sessions=cluster.stats.lost_sessions,
+        consistency=consistency,
+        session_counts=counts,
+        cluster=cluster.stats.as_dict(),
+        per_shard={
+            shard_id: cluster.shards[shard_id].as_dict()
+            for shard_id in sorted(cluster.shards)
+        },
+    )

@@ -1,0 +1,65 @@
+"""Rendezvous (HRW) placement of conferences onto fabric shards.
+
+One fabric serves disjoint conferences within its own N ports; a
+cluster multiplies capacity by running many fabrics side by side and
+assigning each conference wholly to one of them.  The assignment has to
+be computable by anyone from public data (no coordination service), has
+to respect heterogeneous shard capacities, and — crucially for elastic
+scaling — has to move as few conferences as possible when the shard set
+changes.  Weighted rendezvous hashing gives all three:
+
+* every ``(key, shard)`` pair hashes through BLAKE2b to a uniform
+  deviate ``u`` in (0, 1), scored ``weight / -ln(u)`` (the standard
+  weighted-rendezvous transform: a shard of weight 2 wins twice as many
+  keys as a shard of weight 1);
+* the shard with the highest score owns the key, ties broken by shard
+  id, so placement is a pure deterministic function of
+  ``(key, shard ids, weights)`` — no RNG, no state, identical across
+  processes and platforms;
+* **minimal disruption**: adding a shard moves exactly the keys whose
+  top score now belongs to the newcomer (expected fraction
+  ``w_new / W_total`` of all keys) and removing one moves only the keys
+  it owned — every other key's ranking among the survivors is
+  untouched.  ``tests/cluster/test_placement.py`` proves both bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+from hashlib import blake2b
+
+__all__ = ["shard_score", "rank_shards", "place_shard"]
+
+
+def shard_score(key: "int | str", shard_id: str, weight: float = 1.0) -> float:
+    """The rendezvous score of ``shard_id`` for ``key`` (higher wins).
+
+    ``weight`` scales the shard's expected share of keys linearly
+    (capacity weighting); it must be positive.
+    """
+    if weight <= 0.0:
+        raise ValueError(f"shard weight must be > 0, got {weight}")
+    digest = blake2b(f"{key}\x1f{shard_id}".encode(), digest_size=8).digest()
+    # Map the 64-bit digest into the open interval (0, 1); +0.5 keeps
+    # both endpoints unreachable so the log below is always finite.
+    u = (int.from_bytes(digest, "big") + 0.5) / 2.0**64
+    return weight / -math.log(u)
+
+
+def rank_shards(key: "int | str", shards: Mapping[str, float]) -> list[str]:
+    """All shards ordered by descending preference for ``key``.
+
+    ``shards`` maps shard id to capacity weight.  The first entry is
+    the key's home; the rest are its failover order — the property the
+    cluster's failover and rebalance paths lean on is that removing the
+    first entry promotes the second without disturbing anything else.
+    """
+    return sorted(shards, key=lambda sid: (-shard_score(key, sid, shards[sid]), sid))
+
+
+def place_shard(key: "int | str", shards: Mapping[str, float]) -> "str | None":
+    """The shard that owns ``key``, or ``None`` when no shards exist."""
+    if not shards:
+        return None
+    return min(shards, key=lambda sid: (-shard_score(key, sid, shards[sid]), sid))

@@ -1,0 +1,182 @@
+"""Elastic rebalancing: placement-delta planning and the migration queue.
+
+When the shard set changes — a shard joins (scale-up), drains
+(scale-down), or dies (failover) — some sessions' rendezvous homes
+change.  This module owns the two pieces the
+:class:`~repro.cluster.controller.ClusterService` composes:
+
+* :func:`plan_rebalance` computes the **placement delta**: exactly the
+  live sessions whose current home differs from what
+  :func:`~repro.cluster.placement.place_shard` now says, and where each
+  should go.  Rendezvous hashing guarantees the delta is minimal —
+  adding a shard of weight ``w`` to total weight ``W`` moves an
+  expected ``w / W`` fraction of sessions, all of them *onto* the new
+  shard — so the plan never shuffles sessions between surviving shards.
+* :class:`MigrationQueue` throttles execution.  Every move is
+  make-before-break (the next generation opens on the target fabric
+  before the old one closes on the source), which costs transient
+  double capacity; the queue releases at most ``budget`` moves per
+  tick so a large rebalance ripples through the cluster instead of
+  thundering onto it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.serve.protocol import Priority
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from collections.abc import Iterable, Mapping
+
+    from repro.cluster.directory import DirectoryEntry
+    from repro.serve.protocol import ServiceResponse
+
+__all__ = ["Move", "MigrationQueue", "RebalancePlan", "plan_rebalance"]
+
+#: Why a session is being moved between shards.
+MOVE_KINDS = ("rebalance", "drain", "failover")
+
+
+@dataclass
+class Move:
+    """One pending cross-shard migration of a cluster session."""
+
+    cluster_session_id: int
+    members: tuple[int, ...]
+    priority: Priority
+    kind: str  # "rebalance" | "drain" | "failover"
+    source_shard: "str | None"  # None when the source fabric is gone
+    attempts: int = 0
+    cancelled: bool = False  # client closed the session mid-move
+    restore_open: bool = False  # the original open never completed
+    notify: "Callable[[ServiceResponse], None] | None" = None
+    span: "int | None" = None  # open cluster.migrate/failover span id
+
+    def __post_init__(self) -> None:
+        if self.kind not in MOVE_KINDS:
+            raise ValueError(f"unknown move kind {self.kind!r}")
+
+
+class MigrationQueue:
+    """A budgeted FIFO of pending :class:`Move` records.
+
+    ``budget`` is the number of moves the cluster may *start* per tick;
+    moves denied by the target (capacity, backpressure) come back via
+    :meth:`requeue` and are retried on a later tick.  The queue holds at
+    most one move per session — the controller enforces that by marking
+    the directory entry ``MIGRATING`` while a move is queued or in
+    flight.
+    """
+
+    def __init__(self, budget: int = 8):
+        if budget < 1:
+            raise ValueError(f"migration budget must be >= 1, got {budget}")
+        self._budget = budget
+        self._pending: deque[Move] = deque()
+        self.started = 0
+        self.completed = 0
+        self.retried = 0
+
+    @property
+    def budget(self) -> int:
+        """Moves the cluster may start per tick."""
+        return self._budget
+
+    @property
+    def depth(self) -> int:
+        """Moves waiting to start."""
+        return len(self._pending)
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __iter__(self):
+        return iter(self._pending)
+
+    def enqueue(self, move: Move) -> None:
+        """Add one move to the back of the queue."""
+        self._pending.append(move)
+
+    def requeue(self, move: Move) -> None:
+        """A started move was denied by its target; try again later."""
+        move.attempts += 1
+        self.retried += 1
+        self._pending.append(move)
+
+    def start_batch(self) -> list[Move]:
+        """Pop this tick's allowance (up to ``budget`` moves)."""
+        batch: list[Move] = []
+        while self._pending and len(batch) < self._budget:
+            batch.append(self._pending.popleft())
+        self.started += len(batch)
+        return batch
+
+    def discard(self, cluster_session_id: int) -> "Move | None":
+        """Remove and return the queued move for one session, if any."""
+        for move in self._pending:
+            if move.cluster_session_id == cluster_session_id:
+                self._pending.remove(move)
+                return move
+        return None
+
+
+@dataclass(frozen=True)
+class RebalancePlan:
+    """The placement delta of one shard-set change.
+
+    ``moves`` lists ``(cluster_session_id, source_shard, target_shard)``
+    for exactly the sessions whose rendezvous home changed;
+    ``total_sessions`` is the live population the delta was computed
+    over, so ``fraction`` is the movement ratio the HRW bound speaks
+    about (expected ``w_changed / W_total``).
+    """
+
+    moves: tuple[tuple[int, "str | None", str], ...]
+    total_sessions: int
+    targets: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def fraction(self) -> float:
+        """Fraction of live sessions the plan moves."""
+        return len(self.moves) / self.total_sessions if self.total_sessions else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-ready view for reports and the CLI."""
+        return {
+            "kind": "rebalance_plan",
+            "moves": [list(m) for m in self.moves],
+            "total_sessions": self.total_sessions,
+            "fraction": self.fraction,
+            "targets": dict(sorted(self.targets.items())),
+        }
+
+
+def plan_rebalance(
+    entries: "Iterable[DirectoryEntry]", weights: "Mapping[str, float]"
+) -> RebalancePlan:
+    """The minimal move set that re-homes ``entries`` per ``weights``.
+
+    ``weights`` maps *placeable* shard ids to capacity weights (the
+    controller passes only ACTIVE shards, so draining and failed shards
+    are drained by construction).  Only ACTIVE entries are planned —
+    pending opens land wherever admission puts them, and sessions
+    already migrating are left to finish their current move first.
+    """
+    from repro.cluster.directory import EntryState
+    from repro.cluster.placement import place_shard
+
+    moves: list[tuple[int, "str | None", str]] = []
+    targets: dict[str, int] = {}
+    total = 0
+    for entry in entries:
+        if entry.state is not EntryState.ACTIVE:
+            continue
+        total += 1
+        target = place_shard(entry.cluster_session_id, weights)
+        if target is not None and target != entry.shard_id:
+            moves.append((entry.cluster_session_id, entry.shard_id, target))
+            targets[target] = targets.get(target, 0) + 1
+    return RebalancePlan(moves=tuple(moves), total_sessions=total, targets=targets)

@@ -8,7 +8,9 @@ readable by humans and future versions.
 
 from __future__ import annotations
 
+import enum
 import json
+from collections.abc import Mapping
 from pathlib import Path
 from typing import Any
 
@@ -29,6 +31,33 @@ __all__ = [
 SCHEMA_VERSION = 1
 
 
+def _jsonify(value: Any, path: str) -> Any:
+    """Coerce a result payload field to a JSON-ready value.
+
+    Nested result objects serialize through their own ``as_dict`` and
+    enums through their values; anything else non-JSON raises with the
+    dotted path of the offending field, so a bad report fails loudly at
+    serialization time instead of deep inside ``json.dumps``.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, enum.Enum):
+        return _jsonify(value.value, path)
+    if isinstance(value, Mapping):
+        return {str(k): _jsonify(v, f"{path}.{k}") for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v, f"{path}[{i}]") for i, v in enumerate(value)]
+    if isinstance(value, (set, frozenset)):
+        return [_jsonify(v, f"{path}[{i}]") for i, v in enumerate(sorted(value, key=repr))]
+    as_dict = getattr(value, "as_dict", None)
+    if callable(as_dict):
+        return _jsonify(as_dict(), path)
+    raise TypeError(
+        f"result field {path} is not JSON-serializable "
+        f"(got {type(value).__name__})"
+    )
+
+
 def result_to_dict(result: Any) -> dict[str, Any]:
     """Serialize any :data:`repro.api.Result` conformer, uniformly.
 
@@ -36,7 +65,9 @@ def result_to_dict(result: Any) -> dict[str, Any]:
     healing submit outcomes, service responses, and bench reports all
     pass through here (the CLI's ``--json`` paths use this), so every
     verdict carries the same envelope — ``kind`` discriminator, schema
-    version, ``ok``, and ``reason``.
+    version, ``ok``, and ``reason``.  Nested payload objects with their
+    own ``as_dict`` serialize recursively; a field that cannot become
+    JSON raises :class:`TypeError` naming its dotted path.
     """
     for attr in ("ok", "reason", "as_dict"):
         if not hasattr(result, attr):
@@ -49,7 +80,7 @@ def result_to_dict(result: Any) -> dict[str, Any]:
     payload.setdefault("ok", bool(result.ok))
     payload.setdefault("reason", result.reason)
     payload["schema"] = SCHEMA_VERSION
-    return payload
+    return _jsonify(payload, payload["kind"])
 
 
 def conference_set_to_dict(cs: ConferenceSet) -> dict[str, Any]:

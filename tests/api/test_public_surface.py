@@ -104,6 +104,10 @@ class TestConstructorConvention:
                 api.FabricService,
                 ["retry", "rng", "route_cache", "tracer", "metrics"],
             ),
+            (
+                api.ClusterService,
+                ["retry", "rng", "route_cache", "tracer", "metrics"],
+            ),
         ],
     )
     def test_keyword_only_collaborators(self, cls, expected):

@@ -1,0 +1,96 @@
+"""Tests for the cluster churn benchmark.
+
+The acceptance criterion: for a fixed seed the client-visible metrics
+are byte-identical regardless of how sessions map onto shards, and the
+shard-kill drill under a live fault timeline loses zero sessions.
+"""
+
+import json
+
+import pytest
+
+from repro.cluster.bench import run_cluster_bench
+from repro.sim.faults import FaultProcessConfig
+
+FAST = dict(ports=16, conferences=40, seed=7, arrival_rate=4.0, mean_hold_ticks=10.0)
+
+
+def _invariant_bytes(**kw):
+    report = run_cluster_bench(**kw)
+    assert report.ok, report.reason
+    return json.dumps(report.invariant(), sort_keys=True).encode()
+
+
+class TestShardCountInvariance:
+    @pytest.mark.parametrize("shards", [2, 4, 8])
+    def test_metrics_byte_identical_across_shard_counts(self, shards):
+        baseline = _invariant_bytes(shards=1, **FAST)
+        assert _invariant_bytes(shards=shards, **FAST) == baseline
+
+    def test_invariance_holds_under_resizes(self):
+        cfg = dict(FAST, resize_prob=0.3)
+        assert _invariant_bytes(shards=1, **cfg) == _invariant_bytes(shards=4, **cfg)
+
+    def test_repeat_run_byte_identical(self):
+        assert _invariant_bytes(shards=2, **FAST) == _invariant_bytes(shards=2, **FAST)
+
+    def test_different_seeds_differ(self):
+        a = _invariant_bytes(shards=2, **FAST)
+        b = _invariant_bytes(shards=2, **dict(FAST, seed=8))
+        assert a != b
+
+    def test_invariant_view_excludes_mapping_dependent_fields(self):
+        report = run_cluster_bench(shards=2, **FAST)
+        inv = report.invariant()
+        assert "per_shard" not in inv and "peak_queue_depth" not in inv
+        assert inv["lost_sessions"] == 0
+
+
+class TestDrills:
+    def test_shard_kill_drill_under_faults_zero_lost(self):
+        report = run_cluster_bench(
+            shards=4,
+            kill_shard_at=6,
+            fault_process=FaultProcessConfig(
+                mean_time_to_failure=120.0, mean_time_to_repair=8.0
+            ),
+            **FAST,
+        )
+        assert report.ok, report.reason
+        assert report.killed_shard is not None and report.kill_tick == 6
+        assert report.lost_sessions == 0
+        assert report.consistency == []
+        assert report.cluster["failovers"] >= 0
+        assert report.fault_transitions > 0
+
+    def test_elastic_scale_up_drill(self):
+        report = run_cluster_bench(shards=2, add_shard_at=8, **FAST)
+        assert report.ok, report.reason
+        assert report.added_shard is not None
+        assert 0.0 <= report.rebalance_fraction <= 1.0
+        assert report.lost_sessions == 0
+
+    def test_single_shard_kill_refused(self):
+        # with one shard there is nowhere to fail over to; the bench
+        # skips the drill rather than losing sessions
+        report = run_cluster_bench(shards=1, kill_shard_at=6, **FAST)
+        assert report.ok and report.killed_shard is None
+
+
+class TestReportContract:
+    def test_result_contract_and_serialization(self):
+        from repro.report.serialize import result_to_dict
+
+        report = run_cluster_bench(shards=2, **FAST)
+        assert report.ok and report.reason is None
+        payload = result_to_dict(report)
+        json.dumps(payload)
+        assert payload["kind"] == "cluster_bench"
+        assert payload["schema"] == 1
+        assert set(payload["per_shard"]) == {"shard-0", "shard-1"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="shards"):
+            run_cluster_bench(shards=0, **FAST)
+        with pytest.raises(ValueError, match="conferences"):
+            run_cluster_bench(conferences=0)

@@ -1,0 +1,80 @@
+"""Tests for the cluster CLI commands."""
+
+import json
+
+from repro.cli import main
+
+
+class TestClusterCommand:
+    def test_drill_runs_clean(self, capsys):
+        rc = main([
+            "cluster", "--ports", "16", "--shards", "3",
+            "--conferences", "30", "--kill-at", "5", "--add-at", "15",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cluster drill" in out
+        assert "0 sessions lost" in out
+        assert "killed shard-" in out and "added shard-" in out
+
+    def test_drills_can_be_disabled(self, capsys):
+        rc = main([
+            "cluster", "--ports", "16", "--shards", "2",
+            "--conferences", "20", "--kill-at", "-1", "--add-at", "-1",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "killed" not in out and "added" not in out
+
+    def test_json_report(self, capsys, tmp_path):
+        path = tmp_path / "drill.json"
+        rc = main([
+            "cluster", "--ports", "16", "--shards", "2",
+            "--conferences", "20", "--kill-at", "-1", "--add-at", "-1",
+            "--json", str(path),
+        ])
+        assert rc == 0
+        data = json.loads(path.read_text())
+        assert data["kind"] == "cluster_bench" and data["ok"] is True
+
+
+class TestBenchClusterCommand:
+    ARGS = [
+        "bench-cluster", "--ports", "16", "--conferences", "30",
+        "--seed", "5", "--resize-prob", "0.2",
+    ]
+
+    def test_bench_runs_and_reports(self, capsys):
+        rc = main([*self.ARGS, "--shards", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cluster bench" in out and "result: ok" in out
+
+    def test_invariant_json_identical_across_shard_counts(self, capsys, tmp_path):
+        paths = {}
+        for shards in (1, 4):
+            paths[shards] = tmp_path / f"inv{shards}.json"
+            rc = main([*self.ARGS, "--shards", str(shards),
+                       "--invariant-json", str(paths[shards])])
+            assert rc == 0
+        capsys.readouterr()
+        assert paths[1].read_bytes() == paths[4].read_bytes()
+
+    def test_full_json_differs_per_shard_count(self, capsys, tmp_path):
+        path = tmp_path / "full.json"
+        rc = main([*self.ARGS, "--shards", "2", "--json", str(path)])
+        assert rc == 0
+        data = json.loads(path.read_text())
+        assert data["shards"] == 2 and set(data["per_shard"]) == {
+            "shard-0",
+            "shard-1",
+        }
+
+    def test_telemetry_flags(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        prom = tmp_path / "m.prom"
+        rc = main([*self.ARGS, "--shards", "2",
+                   "--trace-out", str(trace), "--metrics-out", str(prom)])
+        assert rc == 0
+        assert trace.exists() and trace.stat().st_size > 0
+        assert "repro_cluster_requests_total" in prom.read_text()

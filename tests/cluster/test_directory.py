@@ -1,0 +1,108 @@
+"""Tests for the cluster-wide session directory."""
+
+import pytest
+
+from repro.cluster.directory import DirectoryEntry, EntryState, SessionDirectory
+from repro.serve.protocol import Priority
+
+
+class TestLifecycle:
+    def test_create_mints_sequential_pending_entries(self):
+        d = SessionDirectory()
+        a = d.create((0, 1), Priority.INTERACTIVE)
+        b = d.create((2, 3))
+        assert (a.cluster_session_id, b.cluster_session_id) == (0, 1)
+        assert a.state is EntryState.PENDING and a.live
+        assert a.priority is Priority.INTERACTIVE and b.priority is Priority.NORMAL
+        assert a.members == (0, 1)
+        assert len(d) == 2 and 0 in d and 5 not in d
+
+    def test_get_require(self):
+        d = SessionDirectory()
+        e = d.create((0,))
+        assert d.get(e.cluster_session_id) is e
+        assert d.require(e.cluster_session_id) is e
+        assert d.get(99) is None
+        with pytest.raises(KeyError, match="99"):
+            d.require(99)
+
+    def test_live_and_on_shard_filters(self):
+        d = SessionDirectory()
+        a, b, c = d.create((0,)), d.create((1,)), d.create((2,))
+        a.state, a.shard_id = EntryState.ACTIVE, "s0"
+        b.state, b.shard_id = EntryState.MIGRATING, "s0"
+        c.state = EntryState.CLOSED
+        assert d.live() == [a, b]
+        assert d.on_shard("s0") == [a, b]
+        assert d.on_shard("s1") == []
+        assert not c.live
+
+    def test_counts_cover_every_state(self):
+        d = SessionDirectory()
+        d.create((0,)).state = EntryState.LOST
+        counts = d.counts()
+        assert counts["lost"] == 1
+        assert set(counts) == {s.value for s in EntryState}
+
+    def test_record_move_bumps_generation_and_tally(self):
+        d = SessionDirectory()
+        e = d.create((0, 1))
+        d.record_move(e.cluster_session_id, "s1", 7, failover=False)
+        assert (e.shard_id, e.shard_session_id, e.generation) == ("s1", 7, 1)
+        assert (e.moves, e.failovers) == (1, 0)
+        d.record_move(e.cluster_session_id, "s2", 3, failover=True)
+        assert e.generation == 2 and (e.moves, e.failovers) == (1, 1)
+
+    def test_as_dict_round(self):
+        e = DirectoryEntry(5, (1, 2), state=EntryState.ACTIVE, shard_id="s0")
+        data = e.as_dict()
+        assert data["session"] == 5 and data["state"] == "active"
+        assert data["members"] == [1, 2]
+
+
+class TestInconsistencies:
+    def _homed(self):
+        d = SessionDirectory()
+        e = d.create((0, 1))
+        e.state, e.shard_id, e.shard_session_id = EntryState.ACTIVE, "s0", 0
+        return d, e
+
+    def test_clean_bijection(self):
+        d, _ = self._homed()
+        assert d.inconsistencies({"s0": {0: (0, 1)}}) == []
+
+    def test_active_without_home(self):
+        d = SessionDirectory()
+        d.create((0,)).state = EntryState.ACTIVE
+        assert any("no home" in p for p in d.inconsistencies({}))
+
+    def test_unknown_shard_and_dead_pointer(self):
+        d, e = self._homed()
+        assert any("unknown shard" in p for p in d.inconsistencies({}))
+        assert any("dead" in p for p in d.inconsistencies({"s0": {}}))
+
+    def test_membership_drift(self):
+        d, _ = self._homed()
+        assert any("drifted" in p for p in d.inconsistencies({"s0": {0: (0, 9)}}))
+
+    def test_unclaimed_shard_session(self):
+        d, _ = self._homed()
+        probs = d.inconsistencies({"s0": {0: (0, 1), 1: (4, 5)}})
+        assert any("unclaimed" in p for p in probs)
+
+    def test_double_claim(self):
+        d, e = self._homed()
+        other = d.create((2, 3))
+        other.state, other.shard_id, other.shard_session_id = (
+            EntryState.ACTIVE,
+            "s0",
+            0,
+        )
+        assert any("both claim" in p for p in d.inconsistencies({"s0": {0: (0, 1)}}))
+
+    def test_non_active_entries_ignored(self):
+        d, e = self._homed()
+        e.state = EntryState.MIGRATING  # mid-move entries are exempt
+        assert d.inconsistencies({"s0": {0: (0, 1)}}) == [
+            "shard 's0' hosts unclaimed session 0"
+        ]

@@ -1,0 +1,101 @@
+"""Tests for weighted rendezvous placement.
+
+The headline property is the minimal-disruption bound: adding a shard
+of weight ``w`` to total weight ``W`` moves only keys the newcomer now
+wins (~``w/W`` of them), and removing a shard moves exactly the keys it
+owned.  These are the bounds the cluster's elastic scaling leans on.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.placement import place_shard, rank_shards, shard_score
+
+FOUR = {f"shard-{i}": 1.0 for i in range(4)}
+
+
+class TestScore:
+    def test_deterministic_pure_function(self):
+        assert shard_score(17, "a") == shard_score(17, "a")
+        assert shard_score("conf-17", "a") == shard_score("conf-17", "a")
+
+    def test_distinct_pairs_distinct_scores(self):
+        scores = {shard_score(k, s) for k in range(50) for s in ("a", "b", "c")}
+        assert len(scores) == 150
+
+    def test_weight_scales_score_linearly(self):
+        base = shard_score(5, "a", 1.0)
+        assert shard_score(5, "a", 3.0) == pytest.approx(3.0 * base)
+
+    @pytest.mark.parametrize("weight", [0.0, -1.0])
+    def test_nonpositive_weight_rejected(self, weight):
+        with pytest.raises(ValueError, match="weight"):
+            shard_score(1, "a", weight)
+
+    def test_key_and_shard_not_confused(self):
+        # The separator keeps ("ab", "c") and ("a", "bc") distinct.
+        assert shard_score("ab", "c") != shard_score("a", "bc")
+
+
+class TestRanking:
+    def test_rank_is_permutation_and_head_is_placement(self):
+        for key in range(100):
+            ranked = rank_shards(key, FOUR)
+            assert sorted(ranked) == sorted(FOUR)
+            assert ranked[0] == place_shard(key, FOUR)
+
+    def test_empty_pool(self):
+        assert place_shard(1, {}) is None
+        assert rank_shards(1, {}) == []
+
+    def test_removing_the_winner_promotes_the_second(self):
+        # The failover property: survivors keep their relative order.
+        for key in range(200):
+            ranked = rank_shards(key, FOUR)
+            survivors = {s: 1.0 for s in FOUR if s != ranked[0]}
+            assert rank_shards(key, survivors) == ranked[1:]
+
+
+class TestMinimalDisruption:
+    """Proof-by-test of the ~1/n movement bound (acceptance criterion)."""
+
+    KEYS = range(2000)
+
+    def test_scale_up_moves_only_newcomer_wins(self):
+        before = {k: place_shard(k, FOUR) for k in self.KEYS}
+        grown = {**FOUR, "shard-4": 1.0}
+        moved = 0
+        for k in self.KEYS:
+            after = place_shard(k, grown)
+            if after != before[k]:
+                moved += 1
+                # every moved key lands on the new shard, never between
+                # survivors
+                assert after == "shard-4"
+        # expected fraction 1/5; allow generous sampling slack
+        assert moved / len(self.KEYS) == pytest.approx(1 / 5, abs=0.05)
+
+    def test_scale_down_moves_only_the_removed_shards_keys(self):
+        before = {k: place_shard(k, FOUR) for k in self.KEYS}
+        shrunk = {s: 1.0 for s in FOUR if s != "shard-2"}
+        for k in self.KEYS:
+            after = place_shard(k, shrunk)
+            if before[k] != "shard-2":
+                assert after == before[k]
+            else:
+                assert after != "shard-2"
+        evicted = sum(1 for k in self.KEYS if before[k] == "shard-2")
+        assert evicted / len(self.KEYS) == pytest.approx(1 / 4, abs=0.05)
+
+    def test_weighted_share_tracks_capacity(self):
+        pool = {"small": 1.0, "big": 3.0}
+        big = sum(1 for k in self.KEYS if place_shard(k, pool) == "big")
+        assert big / len(self.KEYS) == pytest.approx(3 / 4, abs=0.05)
+
+    @settings(max_examples=50, deadline=None)
+    @given(key=st.integers(0, 10**9), extra=st.floats(0.5, 4.0))
+    def test_disruption_property_random_keys(self, key, extra):
+        before = place_shard(key, FOUR)
+        after = place_shard(key, {**FOUR, "shard-x": extra})
+        assert after in (before, "shard-x")

@@ -1,0 +1,111 @@
+"""Tests for the migration queue budget and placement-delta planning."""
+
+import pytest
+
+from repro.cluster.directory import EntryState, SessionDirectory
+from repro.cluster.placement import place_shard
+from repro.cluster.rebalance import MigrationQueue, Move, plan_rebalance
+from repro.serve.protocol import Priority
+
+
+def _move(csid, kind="rebalance", source="s0"):
+    return Move(
+        cluster_session_id=csid,
+        members=(csid,),
+        priority=Priority.NORMAL,
+        kind=kind,
+        source_shard=source,
+    )
+
+
+class TestMigrationQueue:
+    def test_budget_throttles_per_tick_batches(self):
+        q = MigrationQueue(budget=3)
+        for i in range(8):
+            q.enqueue(_move(i))
+        batches = [q.start_batch() for _ in range(4)]
+        sizes = [len(b) for b in batches]
+        assert sizes == [3, 3, 2, 0]  # never more than budget per tick
+        assert [m.cluster_session_id for m in batches[0]] == [0, 1, 2]  # FIFO
+        assert q.started == 8 and q.depth == 0
+
+    def test_requeue_counts_attempts(self):
+        q = MigrationQueue(budget=1)
+        m = _move(0)
+        q.enqueue(m)
+        (started,) = q.start_batch()
+        q.requeue(started)
+        assert m.attempts == 1 and q.retried == 1
+        assert q.start_batch() == [m]  # comes back on a later tick
+
+    def test_discard_removes_only_the_named_session(self):
+        q = MigrationQueue()
+        a, b = _move(0), _move(1)
+        q.enqueue(a)
+        q.enqueue(b)
+        assert q.discard(0) is a
+        assert q.discard(0) is None
+        assert list(q) == [b]
+
+    def test_budget_validated(self):
+        with pytest.raises(ValueError, match="budget"):
+            MigrationQueue(budget=0)
+
+    def test_unknown_move_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            _move(0, kind="teleport")
+
+
+class TestPlanRebalance:
+    def _directory(self, n, weights):
+        d = SessionDirectory()
+        for _ in range(n):
+            e = d.create((0,))
+            e.state = EntryState.ACTIVE
+            e.shard_id = place_shard(e.cluster_session_id, weights)
+            e.shard_session_id = 0
+        return d
+
+    def test_no_change_no_moves(self):
+        weights = {"s0": 1.0, "s1": 1.0}
+        d = self._directory(100, weights)
+        plan = plan_rebalance(d.live(), weights)
+        assert plan.moves == () and plan.fraction == 0.0
+        assert plan.total_sessions == 100
+
+    def test_scale_up_delta_targets_only_the_new_shard(self):
+        old = {"s0": 1.0, "s1": 1.0}
+        new = {**old, "s2": 1.0}
+        d = self._directory(300, old)
+        plan = plan_rebalance(d.live(), new)
+        assert plan.moves  # something must move
+        assert set(plan.targets) == {"s2"}
+        for csid, source, target in plan.moves:
+            assert target == "s2" and source in old
+            assert place_shard(csid, new) == "s2"
+        # expected fraction 1/3, generous slack for 300 samples
+        assert plan.fraction == pytest.approx(1 / 3, abs=0.1)
+
+    def test_only_active_entries_planned(self):
+        weights = {"s0": 1.0}
+        d = self._directory(5, weights)
+        migrating = d.create((0,))
+        migrating.state, migrating.shard_id = EntryState.MIGRATING, "gone"
+        pending = d.create((1,))
+        plan = plan_rebalance(d.live(), {"s1": 1.0})
+        assert plan.total_sessions == 5  # pending/migrating not counted
+        assert all(
+            csid not in (migrating.cluster_session_id, pending.cluster_session_id)
+            for csid, _, _ in plan.moves
+        )
+
+    def test_as_dict_json_ready(self):
+        import json
+
+        weights = {"s0": 1.0}
+        d = self._directory(10, weights)
+        plan = plan_rebalance(d.live(), {"s0": 1.0, "s1": 1.0})
+        data = plan.as_dict()
+        json.dumps(data)
+        assert data["kind"] == "rebalance_plan"
+        assert data["total_sessions"] == 10

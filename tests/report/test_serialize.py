@@ -9,10 +9,12 @@ from hypothesis import strategies as st
 from repro.core.conflict import analyze_conflicts
 from repro.core.routing import route_conference
 from repro.report.serialize import (
+    SCHEMA_VERSION,
     conference_set_from_dict,
     conference_set_to_dict,
     conflict_report_to_dict,
     load_conference_set,
+    result_to_dict,
     route_to_dict,
     save_json,
 )
@@ -54,6 +56,78 @@ class TestConferenceSetRoundTrip:
         path = save_json(tmp_path / "sets" / "cs.json", conference_set_to_dict(cs))
         back = load_conference_set(path)
         assert [c.members for c in back] == [c.members for c in cs]
+
+
+class _FakeResult:
+    """Minimal result-contract conformer for edge-case tests."""
+
+    def __init__(self, payload, ok=True, reason=None):
+        self._payload = payload
+        self.ok = ok
+        self.reason = reason
+
+    def as_dict(self):
+        return dict(self._payload)
+
+
+class _Nested:
+    """A payload object serializable only through its own as_dict."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def as_dict(self):
+        return {"kind": "nested", "value": self.value}
+
+
+class TestResultToDict:
+    def test_unknown_result_types_rejected(self):
+        with pytest.raises(TypeError, match="result contract"):
+            result_to_dict(object())
+        with pytest.raises(TypeError, match="as_dict"):
+            # ok/reason alone do not make a result
+            result_to_dict(type("Half", (), {"ok": True, "reason": None})())
+
+    def test_envelope_defaults(self):
+        data = result_to_dict(_FakeResult({"x": 1}, ok=False, reason="ports"))
+        assert data["kind"] == "_FakeResult"
+        assert data["ok"] is False
+        assert data["reason"] == "ports"
+        assert data["schema"] == SCHEMA_VERSION
+
+    def test_explicit_kind_wins_over_type_name(self):
+        data = result_to_dict(_FakeResult({"kind": "custom", "x": 1}))
+        assert data["kind"] == "custom"
+
+    def test_nested_as_dict_payloads_serialize_recursively(self):
+        data = result_to_dict(
+            _FakeResult({"inner": _Nested(3), "items": [_Nested(4), 5]})
+        )
+        json.dumps(data)  # fully JSON-ready, no custom encoder needed
+        assert data["inner"] == {"kind": "nested", "value": 3}
+        assert data["items"] == [{"kind": "nested", "value": 4}, 5]
+
+    def test_containers_normalized(self):
+        data = result_to_dict(
+            _FakeResult({"t": (1, 2), "s": {2, 1}, "m": {3: "x"}})
+        )
+        json.dumps(data)
+        assert data["t"] == [1, 2]
+        assert data["s"] == [1, 2]
+        assert data["m"] == {"3": "x"}  # JSON keys are strings
+
+    def test_non_serializable_field_rejected_with_path(self):
+        with pytest.raises(TypeError, match=r"_FakeResult\.deep\.hole"):
+            result_to_dict(_FakeResult({"deep": {"hole": object()}}))
+        with pytest.raises(TypeError, match=r"_FakeResult\.row\[1\]"):
+            result_to_dict(_FakeResult({"row": [1, object()]}))
+
+    def test_real_verdicts_pass_through(self):
+        from repro.core.healing import SubmitOutcome
+
+        data = result_to_dict(SubmitOutcome("lost", 3, reason="capacity"))
+        json.dumps(data)
+        assert data["ok"] is False and data["schema"] == SCHEMA_VERSION
 
 
 class TestRouteAndReportDicts:
