@@ -8,7 +8,10 @@ cluster facade running many of them.  Two tables:
   contract), while per-shard load spreads across the pool;
 * **drill arms** — healthy churn vs a shard-kill failover vs an elastic
   scale-up, all under the same seed: what each drill costs in moves,
-  and the zero-lost-sessions invariant through every one of them.
+  and the zero-lost-sessions invariant through every one of them;
+* **protection arms** — the shard-kill-plus-faults drill with backup
+  plans off (F=0) and on (F=2): the recovery-tick distribution shrinks
+  while the client-visible invariant stays byte-identical.
 """
 
 import json
@@ -78,6 +81,37 @@ def drill_rows():
     return rows
 
 
+def protection_rows():
+    rows = []
+    invariants = []
+    for protection in (0, 2):
+        report = run_cluster_bench(
+            shards=4,
+            kill_shard_at=8,
+            fault_process=FAULTS,
+            protection=protection,
+            **CHURN,
+        )
+        invariants.append(json.dumps(report.invariant(), sort_keys=True))
+        rec = report.recovery
+        rows.append(
+            {
+                "protection": protection,
+                "plan_hits": rec["plan_hits"],
+                "plan_misses": rec["plan_misses"],
+                "plan_stale": rec["plan_stale"],
+                "recovery_events": rec["recovery_events"],
+                "recovery_mean": rec["recovery_ticks_mean"],
+                "recovery_p50": rec["recovery_ticks_p50"],
+                "recovery_p95": rec["recovery_ticks_p95"],
+                "recovery_max": rec["recovery_ticks_max"],
+                "lost": report.lost_sessions,
+                "consistency": "ok" if not report.consistency else "BROKEN",
+            }
+        )
+    return rows, invariants
+
+
 def test_c1_cluster(benchmark):
     benchmark(
         lambda: run_cluster_bench(
@@ -112,3 +146,18 @@ def test_c1_cluster(benchmark):
     assert all(r["consistency"] == "ok" for r in rows)
     killed = next(r for r in rows if "kill" in r["drill"])
     assert killed["failovers"] > 0 and killed["transitions"] > 0
+
+    prot_rows, prot_invariants = protection_rows()
+    emit(
+        "c1_protection_drill",
+        prot_rows,
+        title="C1: shard-kill + fault drill, reactive (F=0) vs protected (F=2)",
+    )
+    # Bit-identity across the whole cluster: the client-visible story of
+    # the drill is byte-identical with protection on or off.
+    assert len(set(prot_invariants)) == 1
+    reactive, protected = prot_rows
+    assert reactive["recovery_events"] == protected["recovery_events"]
+    assert protected["recovery_mean"] <= reactive["recovery_mean"]
+    assert protected["plan_hits"] > 0 and reactive["plan_hits"] == 0
+    assert all(r["lost"] == 0 and r["consistency"] == "ok" for r in prot_rows)

@@ -14,7 +14,11 @@ process is identical across arms:
   relay's late-tap freedom turns repairs into hitless tap moves and
   lifts time-averaged availability;
 * bounded backoff vs immediate loss at equal offered load — retries
-  ride out repair windows instead of abandoning calls.
+  ride out repair windows instead of abandoning calls;
+* protected (precomputed backup plans, F=2) vs unprotected failover on
+  the identical timeline — protection moves route-search work off the
+  failure path (recovery ticks) without changing a single decision,
+  and the memory-vs-F table prices the stored plans.
 """
 
 import os
@@ -97,6 +101,60 @@ def retry_rows():
     return rows
 
 
+def protection_rows():
+    """Protected vs unprotected self-healing on the identical timeline."""
+    rows = []
+    for protection in (0, 2):
+        for row in availability_over_time(
+            "extra-stage-cube",
+            N_PORTS,
+            process=STEADY_PROCESS,
+            duration=DURATION,
+            retry=STEADY_RETRY,
+            seed=0,
+            protection=protection,
+        ):
+            rows.append(
+                {
+                    "relay": row["relay"],
+                    "protection": row["protection"],
+                    "availability": row["availability"],
+                    "dropped": row["dropped"],
+                    "plan_hits": row["plan_hits"],
+                    "plan_misses": row["plan_misses"],
+                    "recovery_events": row["recovery_events"],
+                    "recovery_mean": row["recovery_ticks_mean"],
+                    "recovery_p50": row["recovery_ticks_p50"],
+                    "recovery_p95": row["recovery_ticks_p95"],
+                    "recovery_max": row["recovery_ticks_max"],
+                }
+            )
+    return rows
+
+
+def protection_memory_rows():
+    """Memory-vs-F: realized plan-store footprint for one population."""
+    from repro.core.healing import SelfHealingController
+    from repro.core.network import ConferenceNetwork
+    from repro.workloads.generators import uniform_partition
+
+    population = list(uniform_partition(N_PORTS, load=0.6, seed=0))
+    rows = []
+    for protection in (0, 1, 2, 4):
+        network = ConferenceNetwork.build("extra-stage-cube", N_PORTS, dilation=N_PORTS)
+        healing = SelfHealingController(network, rng=0, protection=protection)
+        for conf in population:
+            healing.try_join(conf)
+        if healing.plan_store is None:
+            foot = {"protection": 0, "conferences": 0, "plans": 0,
+                    "negative_plans": 0, "route_cells": 0}
+        else:
+            foot = healing.plan_store.footprint()
+        foot["live_conferences"] = len(healing.live_conferences)
+        rows.append(foot)
+    return rows
+
+
 def test_e5_availability(benchmark):
     benchmark(
         lambda: availability_over_time(
@@ -123,6 +181,40 @@ def test_e5_availability(benchmark):
         assert by[(topo, "on")] >= by[(topo, "off")]
     assert by[("extra-stage-cube", "on")] > by[("extra-stage-cube", "off")]
     assert by[("benes-cube", "on")] > by[("benes-cube", "off")]
+
+    prot_rows = protection_rows()
+    emit(
+        "e5_protection",
+        prot_rows,
+        title=f"E5: protected (F=2) vs reactive failover, identical timeline "
+        f"(extra-stage-cube, N={N_PORTS})",
+    )
+    by_prot = {(r["relay"], r["protection"]): r for r in prot_rows}
+    for relay in ("on", "off"):
+        reactive, protected = by_prot[(relay, 0)], by_prot[(relay, 2)]
+        # Bit-identity: protection may never change what is decided.
+        assert protected["availability"] == reactive["availability"]
+        assert protected["dropped"] == reactive["dropped"]
+        assert protected["recovery_events"] == reactive["recovery_events"]
+        # The point of the fast path: strictly less work on the failure
+        # path, with every reactive disruption costing a full search.
+        assert reactive["recovery_mean"] == 1.0 or reactive["recovery_events"] == 0
+        assert protected["recovery_mean"] <= reactive["recovery_mean"]
+    assert sum(r["plan_hits"] for r in prot_rows if r["protection"] == 2) > 0
+    assert all(r["plan_hits"] == 0 for r in prot_rows if r["protection"] == 0)
+
+    memory = protection_memory_rows()
+    emit(
+        "e5_protection_memory",
+        memory,
+        title=f"E5: plan-store footprint vs protection level F "
+        f"(extra-stage-cube, N={N_PORTS}, load=0.6)",
+    )
+    cells = {r["protection"]: r["route_cells"] for r in memory}
+    plans = {r["protection"]: r["plans"] for r in memory}
+    assert plans[0] == 0 and cells[0] == 0
+    assert plans[1] <= plans[2] <= plans[4]
+    assert cells[1] <= cells[2] <= cells[4]
 
     ablation = retry_rows()
     emit(

@@ -119,6 +119,7 @@ def availability_over_time(
     retry: "RetryPolicy | None" = _STEADY_RETRY,
     seed: int = 0,
     load: float = 0.6,
+    protection: int = 0,
     tracer=None,
     metrics=None,
 ) -> list[dict[str, float | int | str]]:
@@ -144,6 +145,12 @@ def availability_over_time(
     the mean repair — the first unroutable drop is a permanent outage to
     the horizon and availability collapses for *both* variants.
 
+    ``protection`` (plan budget F, default 0 = reactive) precomputes
+    per-link backup routings: failovers on protected links are O(1)
+    plan switches, counted as 0 recovery ticks in the rows' recovery
+    distribution, while decisions — availability, drops, reroutes —
+    stay bit-identical to the reactive run by construction.
+
     ``tracer`` / ``metrics`` (optional, see :mod:`repro.obs`) observe
     both replays: each run opens with an ``experiment.run`` event naming
     the relay variant, and the shared registry aggregates the two.  Both
@@ -163,11 +170,12 @@ def availability_over_time(
         stats = _replay_steady(
             topology, n_ports, conferences, timeline, duration,
             dilation=dilation, relay_enabled=relay, retry=retry, seed=seed,
-            tracer=tracer, metrics=metrics,
+            protection=protection, tracer=tracer, metrics=metrics,
         )
         row: dict[str, float | int | str] = {
             "topology": topology,
             "relay": "on" if relay else "off",
+            "protection": protection,
             "conferences": len(conferences),
         }
         row.update(stats.summary())
@@ -185,6 +193,7 @@ def _replay_steady(
     relay_enabled: bool,
     retry: "RetryPolicy | None",
     seed: int,
+    protection: int = 0,
     tracer=None,
     metrics=None,
 ):
@@ -201,7 +210,8 @@ def _replay_steady(
             relay="on" if relay_enabled else "off",
         )
     healing = SelfHealingController(
-        network, retry=retry, rng=seed, tracer=tracer, metrics=metrics
+        network, retry=retry, rng=seed, protection=protection,
+        tracer=tracer, metrics=metrics,
     )
     # Steady conferences want to run to the horizon: a drop's outage
     # window therefore extends to the end of the experiment.

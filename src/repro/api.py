@@ -49,6 +49,7 @@ from repro.core.routing import (
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.parallel.cache import RouteCache
+from repro.protect.plans import BackupPlan, BackupPlanStore, PlanStats
 from repro.serve.backpressure import AdmissionQueue, ShedPolicy
 from repro.serve.bench import ServeBenchReport, run_serve_bench
 from repro.serve.protocol import Priority, ServiceResponse, SessionRequest
@@ -67,7 +68,7 @@ from repro.topology.network import MultistageNetwork
 
 #: Version of the public surface (bumped on any additive change; the
 #: library version tracks releases, this tracks the API contract).
-API_VERSION = "1.2"
+API_VERSION = "1.3"
 
 
 @runtime_checkable
@@ -126,6 +127,10 @@ __all__ = [
     "SelfHealingController",
     "SubmitOutcome",
     "RouteCache",
+    # protection (precomputed fast failover)
+    "BackupPlan",
+    "BackupPlanStore",
+    "PlanStats",
     # faults & simulation clock
     "EventLoop",
     "FaultInjector",

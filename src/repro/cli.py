@@ -194,6 +194,10 @@ def build_parser() -> argparse.ArgumentParser:
     avail.add_argument("--mttr", type=float, default=30.0, help="mean time to repair per link")
     avail.add_argument("--load", type=float, default=0.6, help="steady population port load")
     avail.add_argument("--retries", type=int, default=10, help="retry budget (0 disables retries)")
+    avail.add_argument(
+        "--protection", type=int, default=0, metavar="F",
+        help="backup plans per conference (0 = reactive reroute only)",
+    )
     avail.add_argument("--seed", type=int, default=0)
     avail.add_argument(
         "--traffic",
@@ -278,6 +282,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--load", type=float, default=0.5, help="port load of the demo workload")
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--retries", type=int, default=5, help="retry budget (0 disables retries)")
+    serve.add_argument(
+        "--protection", type=int, default=0, metavar="F",
+        help="backup plans per conference (0 = reactive reroute only)",
+    )
     serve.add_argument("--queue-capacity", type=int, default=256)
     serve.add_argument(
         "--shed-policy",
@@ -309,6 +317,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_serve.add_argument("--max-batch", type=int, default=64)
     bench_serve.add_argument("--retries", type=int, default=5, help="retry budget (0 disables retries)")
+    bench_serve.add_argument(
+        "--protection", type=int, default=0, metavar="F",
+        help="backup plans per conference (0 = reactive reroute only)",
+    )
     bench_serve.add_argument(
         "--faults",
         action="store_true",
@@ -350,6 +362,10 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--mttf", type=float, default=400.0, help="mean time to failure per link")
     cluster.add_argument("--mttr", type=float, default=5.0, help="mean time to repair per link")
     cluster.add_argument("--retries", type=int, default=5, help="retry budget (0 disables retries)")
+    cluster.add_argument(
+        "--protection", type=int, default=0, metavar="F",
+        help="backup plans per conference on every shard (0 = reactive)",
+    )
     cluster.add_argument("--migration-budget", type=int, default=8, help="moves started per tick")
     cluster.add_argument("--json", metavar="PATH", help="write the report as JSON (shared result schema)")
     _add_telemetry_flags(cluster)
@@ -379,6 +395,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_cluster.add_argument("--max-batch", type=int, default=256)
     bench_cluster.add_argument("--retries", type=int, default=0, help="retry budget (0 disables retries)")
+    bench_cluster.add_argument(
+        "--protection", type=int, default=0, metavar="F",
+        help="backup plans per conference on every shard (0 = reactive)",
+    )
     bench_cluster.add_argument("--migration-budget", type=int, default=8, help="moves started per tick")
     bench_cluster.add_argument("--json", metavar="PATH", help="write the full report as JSON (shared result schema)")
     bench_cluster.add_argument(
@@ -524,13 +544,15 @@ def _cmd_availability(args: argparse.Namespace) -> int:
         retry=retry,
         seed=args.seed,
         load=args.load,
+        protection=args.protection,
         tracer=tracer,
         metrics=registry,
     )
     columns = [
-        "relay", "conferences", "availability", "degraded_fraction",
+        "relay", "protection", "conferences", "availability", "degraded_fraction",
         "dropped", "restored", "lost_calls", "tap_move_events", "reroutes",
         "link_failures", "link_mttr", "conference_mttr",
+        "plan_hits", "recovery_ticks_p50", "recovery_ticks_p95",
     ]
     print(render_table(
         rows,
@@ -712,6 +734,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         net,
         retry=retry,
         rng=args.seed,
+        protection=args.protection,
         tracer=tracer,
         metrics=registry,
         queue_capacity=args.queue_capacity,
@@ -760,7 +783,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"final sessions: {counts}"
     )
     if args.json:
-        save_json(args.json, {"responses": [result_to_dict(r) for r in responses]})
+        healing_stats = service.healing.stats
+        save_json(args.json, {
+            "protection": service.protection,
+            "recovery": {
+                **healing_stats.summarize_recovery(healing_stats.recovery_samples),
+                "plan_hits": healing_stats.plan_hits,
+                "plan_misses": healing_stats.plan_misses,
+                "plan_stale": healing_stats.plan_stale,
+            },
+            "responses": [result_to_dict(r) for r in responses],
+        })
         print(f"responses written to {args.json}")
     _write_telemetry(args, tracer, registry)
     return 0 if all(counts[s] == 0 for s in ("queued", "active", "degraded", "down")) else 1
@@ -797,6 +830,7 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         retry=retry,
         fault_process=process,
         route_cache=cache,
+        protection=args.protection,
         tracer=tracer,
         metrics=registry,
     )
@@ -814,6 +848,17 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         {"metric": "peak queue depth", "value": report.peak_queue_depth},
         {"metric": "mean admission latency (ticks)", "value": round(svc["mean_admission_latency"], 3)},
         {"metric": "fault transitions", "value": report.fault_transitions},
+        {"metric": "protection (plans/conference)", "value": report.protection},
+        {"metric": "plan hits / misses / stale", "value": (
+            f"{report.recovery.get('plan_hits', 0)} / "
+            f"{report.recovery.get('plan_misses', 0)} / "
+            f"{report.recovery.get('plan_stale', 0)}"
+        )},
+        {"metric": "recovery ticks p50 / p95 / max", "value": (
+            f"{report.recovery.get('recovery_ticks_p50', 0.0)} / "
+            f"{report.recovery.get('recovery_ticks_p95', 0.0)} / "
+            f"{report.recovery.get('recovery_ticks_max', 0.0)}"
+        )},
     ]
     print(render_table(
         rows,
@@ -853,6 +898,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         fault_process=process,
         kill_shard_at=args.kill_at if args.kill_at >= 0 else None,
         add_shard_at=args.add_at if args.add_at >= 0 else None,
+        protection=args.protection,
         tracer=tracer,
         metrics=registry,
     )
@@ -887,6 +933,15 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         f"{report.lost_sessions} sessions lost"
         + (f"; drill: {', '.join(drill)}" if drill else "")
     )
+    print(
+        f"protection F={report.protection}: "
+        f"{report.recovery.get('plan_hits', 0)} plan hits, "
+        f"{report.recovery.get('plan_misses', 0)} misses, "
+        f"{report.recovery.get('plan_stale', 0)} stale; recovery ticks "
+        f"p50={report.recovery.get('recovery_ticks_p50', 0.0)} "
+        f"p95={report.recovery.get('recovery_ticks_p95', 0.0)} "
+        f"max={report.recovery.get('recovery_ticks_max', 0.0)}"
+    )
     if report.consistency:
         for problem in report.consistency:
             print(f"INCONSISTENT: {problem}")
@@ -919,6 +974,7 @@ def _cmd_bench_cluster(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         retry=retry,
         migration_budget=args.migration_budget,
+        protection=args.protection,
         tracer=tracer,
         metrics=registry,
     )
@@ -935,6 +991,12 @@ def _cmd_bench_cluster(args: argparse.Namespace) -> int:
         {"metric": "sessions lost", "value": report.lost_sessions},
         {"metric": "peak queue depth", "value": report.peak_queue_depth},
         {"metric": "mean admission latency (ticks)", "value": round(cl["mean_admission_latency"], 3)},
+        {"metric": "protection (plans/conference)", "value": report.protection},
+        {"metric": "recovery ticks p50 / p95 / max", "value": (
+            f"{report.recovery.get('recovery_ticks_p50', 0.0)} / "
+            f"{report.recovery.get('recovery_ticks_p95', 0.0)} / "
+            f"{report.recovery.get('recovery_ticks_max', 0.0)}"
+        )},
     ]
     print(render_table(
         rows,

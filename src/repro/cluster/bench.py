@@ -39,6 +39,7 @@ from repro.core.network import ConferenceNetwork
 from repro.serve.backpressure import ShedPolicy
 from repro.serve.protocol import ServiceResponse
 from repro.sim.faults import generate_fault_timeline
+from repro.sim.metrics import AvailabilityStats
 from repro.util.rng import ensure_rng
 from repro.util.validation import check_positive
 
@@ -73,6 +74,10 @@ class ClusterBenchReport:
     shed_policy: str
     peak_queue_depth: int  # max over shards (NOT shard-count invariant)
     lost_sessions: int
+    # Protection is deliberately NOT part of ``invariant()``: the fast
+    # path changes recovery *accounting*, never client-visible decisions.
+    protection: int = 0
+    recovery: dict[str, Any] = field(default_factory=dict)
     consistency: list[str] = field(default_factory=list)
     session_counts: dict[str, int] = field(default_factory=dict)
     cluster: dict[str, Any] = field(default_factory=dict)
@@ -153,6 +158,8 @@ class ClusterBenchReport:
             "shed_policy": self.shed_policy,
             "peak_queue_depth": self.peak_queue_depth,
             "lost_sessions": self.lost_sessions,
+            "protection": self.protection,
+            "recovery": dict(self.recovery),
             "consistency": list(self.consistency),
             "session_counts": dict(self.session_counts),
             "cluster": dict(self.cluster),
@@ -212,6 +219,7 @@ def run_cluster_bench(
     fault_horizon: "float | None" = None,
     kill_shard_at: "int | None" = None,
     add_shard_at: "int | None" = None,
+    protection: int = 0,
     tracer: "Tracer | None" = None,
     metrics: "MetricsRegistry | None" = None,
     max_ticks: "int | None" = None,
@@ -224,6 +232,11 @@ def run_cluster_bench(
     ``kill_shard_at`` fails the busiest shard at that tick (the failover
     drill); ``add_shard_at`` scales a fresh shard in and rebalances;
     ``fault_process`` attaches an independent per-shard fault timeline.
+    ``protection`` (plan budget F, default 0 = reactive) arms every
+    shard fabric with precomputed backup plans; the report's
+    ``recovery`` block folds all shards' recovery-tick samples and plan
+    counters into one distribution.  Protection never enters the
+    invariant fields — decisions are bit-identical with or without it.
     """
     check_positive(arrival_rate, "arrival_rate")
     check_positive(mean_hold_ticks, "mean_hold_ticks")
@@ -248,6 +261,7 @@ def run_cluster_bench(
         shards=shards,
         retry=retry,
         rng=service_rng,
+        protection=protection,
         tracer=tracer,
         metrics=metrics,
         queue_capacity=queue_capacity,
@@ -407,6 +421,17 @@ def run_cluster_bench(
     peak = max(
         (s.service.queue.stats.peak_depth for s in cluster.shards.values()), default=0
     )
+    # Fold every shard's healing stats (failed shards included — their
+    # pre-kill failovers count) into one cluster-wide recovery table.
+    samples: list[float] = []
+    recovery: dict[str, Any] = {"plan_hits": 0, "plan_misses": 0, "plan_stale": 0}
+    for shard_id in sorted(cluster.shards):
+        healing_stats = cluster.shards[shard_id].service.healing.stats
+        samples.extend(healing_stats.recovery_samples)
+        recovery["plan_hits"] += healing_stats.plan_hits
+        recovery["plan_misses"] += healing_stats.plan_misses
+        recovery["plan_stale"] += healing_stats.plan_stale
+    recovery = {**AvailabilityStats.summarize_recovery(samples), **recovery}
     return ClusterBenchReport(
         topology=topology,
         n_ports=ports,
@@ -428,6 +453,8 @@ def run_cluster_bench(
         ),
         peak_queue_depth=peak,
         lost_sessions=cluster.stats.lost_sessions,
+        protection=cluster.protection,
+        recovery=recovery,
         consistency=consistency,
         session_counts=counts,
         cluster=cluster.stats.as_dict(),

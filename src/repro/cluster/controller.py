@@ -185,6 +185,7 @@ class ClusterService:
         retry: "RetryPolicy | None" = None,
         rng: "int | np.random.Generator | None" = None,
         route_cache: "RouteCache | None" = None,
+        protection: int = 0,
         tracer: "Tracer | None" = None,
         metrics: "MetricsRegistry | None" = None,
         queue_capacity: int = 1024,
@@ -198,6 +199,7 @@ class ClusterService:
         self._retry = retry
         self._rng = ensure_rng(rng)
         self._route_cache = route_cache
+        self._protection = protection
         self.tracer = tracer
         self._metrics = metrics
         self._queue_capacity = queue_capacity
@@ -257,6 +259,11 @@ class ClusterService:
         """Virtual time advanced per tick."""
         return self._tick_interval
 
+    @property
+    def protection(self) -> int:
+        """Backup-plan budget F applied uniformly to every shard fabric."""
+        return self._protection
+
     def active_weights(self) -> dict[str, float]:
         """Capacity weights of the currently placeable (ACTIVE) shards."""
         return {
@@ -305,6 +312,7 @@ class ClusterService:
             retry=self._retry,
             rng=shard_rng,
             route_cache=self._route_cache,
+            protection=self._protection,
             tracer=self.tracer,
             metrics=None,  # see module docstring: cluster owns the registry
             queue_capacity=self._queue_capacity,

@@ -51,6 +51,7 @@ from repro.core.conference import Conference, ConferenceSet
 from repro.core.network import ConferenceNetwork
 from repro.core.routing import Route, UnroutableError
 from repro.obs.metrics import DEFAULT_OCCUPANCY_BUCKETS
+from repro.protect.plans import BackupPlanStore
 
 # Safe at module level: ``repro.sim``'s package __init__ resolves its
 # exports lazily (PEP 562), so importing the metrics leaf does not pull
@@ -158,6 +159,7 @@ _COUNTER_HELP = {
     "repro_fault_transitions_total": "Fault transitions handled, by kind",
     "repro_heals_total": "Degradation-ladder actions taken, by action",
     "repro_drops_total": "Live conferences dropped, by cause",
+    "repro_protect_plans_total": "Backup-plan failover lookups, by outcome",
 }
 
 
@@ -185,10 +187,26 @@ class SelfHealingController:
     routes are never reused across a fault transition — behaviour is
     bit-identical with and without the cache, only faster.
 
+    ``protection`` (plan budget F, default 0 = purely reactive) enables
+    precomputed fast failover: every admitted conference keeps backup
+    routings for the F most-loaded links it crosses in a
+    :class:`~repro.protect.plans.BackupPlanStore`, and a ``fault.fail``
+    on a protected link switches to the stored plan in O(1) instead of
+    searching.  Plans are computed by the same (cache-assisted) pure
+    routing function the reactive path uses, so a valid plan's route is
+    **bit-identical** to what the reactive reroute would have produced —
+    protection changes when routing work happens, never what is decided
+    (the property suite in ``tests/protect`` holds the two controllers
+    side by side).  Stale or missing plans fall back to the reactive
+    search; every lookup outcome lands in the availability stats and the
+    ``repro_protect_plans_total`` counter.  Pass ``plan_store=`` to
+    share or pre-build a store (its budget then governs).
+
     ``tracer`` / ``metrics`` attach observability (see :mod:`repro.obs`):
     the tracer receives per-conference submit/admit/reroute/drop spans
-    and retry/degrade events, the registry accumulates admission/heal
-    counters plus per-stage link-occupancy histograms and observed
+    and retry/degrade events (plus ``heal.fastpath`` spans for planned
+    failovers), the registry accumulates admission/heal counters plus
+    per-stage link-occupancy histograms and observed
     conflict-multiplicity gauges.  Both are pure observation — decisions
     and RNG streams are identical with or without them.
     """
@@ -201,6 +219,8 @@ class SelfHealingController:
         stats: "AvailabilityStats | None" = None,
         rng: "int | np.random.Generator | None" = None,
         route_cache: "RouteCache | None" = None,
+        protection: int = 0,
+        plan_store: "BackupPlanStore | None" = None,
         tracer: "Tracer | None" = None,
         metrics: "MetricsRegistry | None" = None,
         seed: "int | np.random.Generator | None" = None,
@@ -225,6 +245,22 @@ class SelfHealingController:
             if route_cache.policy != network.policy:
                 raise ValueError("route cache is bound to a different routing policy")
         self._cache = route_cache
+        if protection < 0:
+            raise ValueError(f"protection must be >= 0, got {protection}")
+        if plan_store is not None:
+            topo = network.topology
+            if (plan_store.network.name, plan_store.network.n_ports) != (topo.name, topo.n_ports):
+                raise ValueError("plan store is bound to a different network")
+            if plan_store.policy != network.policy:
+                raise ValueError("plan store is bound to a different routing policy")
+        elif protection > 0:
+            plan_store = BackupPlanStore(
+                network.topology,
+                policy=network.policy,
+                protection=protection,
+                tracer=tracer,
+            )
+        self._plans = plan_store if plan_store is not None and plan_store.protection else None
         self._network = network
         self._inner = AdmissionController(network, tracer=tracer)
         self._retry = retry
@@ -265,6 +301,16 @@ class SelfHealingController:
     def retry_policy(self) -> "RetryPolicy | None":
         """The retry policy, or ``None`` when blocked calls are lost."""
         return self._retry
+
+    @property
+    def protection(self) -> int:
+        """The per-conference backup-plan budget F (0 = purely reactive)."""
+        return self._plans.protection if self._plans is not None else 0
+
+    @property
+    def plan_store(self) -> "BackupPlanStore | None":
+        """The backup-plan store, or ``None`` when protection is off."""
+        return self._plans
 
     @property
     def current_faults(self) -> frozenset[Point]:
@@ -374,6 +420,7 @@ class SelfHealingController:
                 self._degraded.add(cid)
         else:
             self._healthy[cid] = route
+        self._protect(route)
         return route
 
     def leave(self, conference_id: int, now: "float | None" = None) -> None:
@@ -381,6 +428,8 @@ class SelfHealingController:
         self._inner.leave(conference_id)
         self._healthy.pop(conference_id, None)
         self._degraded.discard(conference_id)
+        if self._plans is not None:
+            self._plans.invalidate(conference_id)
         if now is not None:
             self._observe(now)
 
@@ -407,6 +456,7 @@ class SelfHealingController:
         self._inner.replace_route(conference_id, new)
         self._healthy[conference_id] = self._route(conference) if faults else new
         self._update_degraded(conference_id, new, now=now)
+        self._protect(new)
         if self.tracer is not None:
             self.tracer.event(
                 "conference.resize",
@@ -497,9 +547,18 @@ class SelfHealingController:
 
     def apply_fault(self, loop: "EventLoop", point: Point) -> None:
         """A point died: walk every affected live conference down the
-        degradation ladder (tap move, then reroute, then drop)."""
+        degradation ladder (tap move, then reroute, then drop).
+
+        With protection on, affected conferences holding a valid backup
+        plan for ``point`` switch to it in O(1) first; only stale or
+        missing plans pay the reactive route search.  A ``fail`` of an
+        already-failed point is an **explicit no-op** (the controller is
+        already routing around it; nothing is recounted or re-healed) —
+        duplicate transitions can reach here when several injectors or a
+        manual driver share one controller.
+        """
         if point in self._faults:
-            return
+            return  # duplicate fail: already routing around this point
         self._faults.add(point)
         self._stats.record_link_failed(loop.now, point)
         self._count("repro_fault_transitions_total", kind="fail")
@@ -508,15 +567,20 @@ class SelfHealingController:
             old = self._inner.route_of(cid)
             if point not in old.points:
                 continue  # signals on this route are untouched
-            self._heal(loop, cid, old, faults)
+            self._heal(loop, cid, old, faults, point=point)
+        self._reprotect(faults)
         self._observe(loop.now)
 
     def apply_repair(self, loop: "EventLoop", point: Point) -> None:
         """A point came back: walk degraded conferences toward their
         fault-free routes (tap moves preferred, reroutes if capacity
-        allows; a conference that cannot improve stays degraded)."""
+        allows; a conference that cannot improve stays degraded).
+
+        A ``repair`` of a point that was never failed is an **explicit
+        no-op**, mirroring :meth:`apply_fault`'s duplicate handling.
+        """
         if point not in self._faults:
-            return
+            return  # repair of a point this controller never saw fail
         self._faults.discard(point)
         self._stats.record_link_repaired(loop.now, point)
         self._count("repro_fault_transitions_total", kind="repair")
@@ -532,17 +596,58 @@ class SelfHealingController:
             if not self._swap(cid, cur, new, now=loop.now):
                 continue  # no capacity for the better route yet
             self._update_degraded(cid, new, now=loop.now)
+        self._reprotect(faults)
         self._observe(loop.now)
 
-    def _heal(self, loop, cid: int, old: Route, faults: frozenset) -> None:
-        try:
-            new = self._route(old.conference, faults)
-        except UnroutableError:
-            self._drop(loop, cid, "fault")
-            return
+    def _heal(
+        self, loop, cid: int, old: Route, faults: frozenset, point: "Point | None" = None
+    ) -> None:
+        """One disrupted conference: planned fast failover, else reactive.
+
+        ``point`` (the failed point, when healing is driven by a fault
+        transition) selects the backup plan; a valid plan resolves the
+        surviving route — or the certainty that none exists — in O(1)
+        and bit-identically to the reactive search, so only the recovery
+        cost model (0 ticks vs 1) distinguishes the two paths.
+        """
+        new: "Route | None" = None
+        sid = None
+        fastpath = False
+        tr = self.tracer
+        if self._plans is not None and point is not None:
+            status, payload = self._plans.lookup(old.conference, point, faults)
+            self._stats.record_plan_lookup(status)
+            self._count("repro_protect_plans_total", outcome=status)
+            if status == "hit":
+                fastpath = True
+                self._stats.record_recovery(0.0)
+                if tr is not None:
+                    sid = tr.span_open(
+                        "heal.fastpath", t=loop.now, cid=cid,
+                        level=point[0], row=point[1],
+                    )
+                if isinstance(payload, UnroutableError):
+                    # Negative plan: the drop is precomputed too.
+                    if sid is not None:
+                        tr.span_close(sid, t=loop.now, status="dropped")
+                    self._drop(loop, cid, "fault")
+                    return
+                new = payload
+        if new is None:
+            if not fastpath and point is not None:
+                self._stats.record_recovery(1.0)  # reactive route search
+            try:
+                new = self._route(old.conference, faults)
+            except UnroutableError:
+                self._drop(loop, cid, "fault")
+                return
         if new != old and not self._swap(cid, old, new, now=loop.now):
+            if sid is not None:
+                tr.span_close(sid, t=loop.now, status="denied")
             self._drop(loop, cid, "capacity")
             return
+        if sid is not None:
+            tr.span_close(sid, t=loop.now, status="switched", links=new.n_links)
         self._update_degraded(cid, new, now=loop.now)
 
     def _swap(self, cid: int, old: Route, new: Route, now: "float | None" = None) -> bool:
@@ -576,6 +681,38 @@ class SelfHealingController:
         self._count("repro_heals_total", action="reroute")
         return True
 
+    # -- backup-plan maintenance (off the failover critical path) ----------
+
+    def _protect(self, route: Route) -> None:
+        """(Re)plan one conference's backup routings for its live route."""
+        if self._plans is None:
+            return
+        self._plans.protect(
+            route.conference,
+            route,
+            frozenset(self._faults),
+            router=self._route,
+            load_of=self._inner.link_load,
+        )
+
+    def _reprotect(self, faults: frozenset) -> None:
+        """Re-plan every live conference after a fault-set change.
+
+        Runs *after* the transition's healing walk, so the O(1) switch
+        already happened; this is the background work that keeps plans
+        valid for the *next* single fault on top of the new set.  Plans
+        whose conference was unaffected are recut too — their old base
+        fault set no longer matches, so they would only ever be stale.
+        """
+        if self._plans is None:
+            return
+        for cid in sorted(self._inner.live_conferences):
+            route = self._inner.route_of(cid)
+            self._plans.protect(
+                route.conference, route, faults,
+                router=self._route, load_of=self._inner.link_load,
+            )
+
     def _update_degraded(self, cid: int, route: Route, now: "float | None" = None) -> None:
         was = cid in self._degraded
         healthy = self._healthy.get(cid)
@@ -597,6 +734,8 @@ class SelfHealingController:
         self._inner.leave(cid)
         self._healthy.pop(cid, None)
         self._degraded.discard(cid)
+        if self._plans is not None:
+            self._plans.invalidate(cid)
         self._stats.record_drop(cause)
         self._count("repro_drops_total", cause=cause)
         if self.tracer is not None:
@@ -688,6 +827,10 @@ class SelfHealingController:
         peak.set_max(len(self._inner.live_conferences), state="live")
         peak.set_max(len(self._degraded), state="degraded")
         peak.set_max(len(self._down), state="down")
+        if self._plans is not None:
+            reg.gauge(
+                "repro_protect_plans_resident", "Backup plans currently stored"
+            ).set(len(self._plans))
         occupancy = reg.histogram(
             "repro_link_occupancy",
             "Channel load of each occupied inter-stage link per observation, by entering stage",

@@ -55,6 +55,8 @@ class ServeBenchReport:
     queue_capacity: int
     shed_policy: str
     lost_sessions: int
+    protection: int = 0
+    recovery: dict[str, Any] = field(default_factory=dict)
     session_counts: dict[str, int] = field(default_factory=dict)
     service: dict[str, Any] = field(default_factory=dict)
     queue: dict[str, int] = field(default_factory=dict)
@@ -101,6 +103,8 @@ class ServeBenchReport:
             "queue_capacity": self.queue_capacity,
             "shed_policy": self.shed_policy,
             "lost_sessions": self.lost_sessions,
+            "protection": self.protection,
+            "recovery": dict(self.recovery),
             "session_counts": dict(self.session_counts),
             "service": dict(self.service),
             "queue": dict(self.queue),
@@ -149,6 +153,7 @@ def run_serve_bench(
     fault_process: "FaultProcessConfig | None" = None,
     fault_horizon: "float | None" = None,
     route_cache: "RouteCache | None" = None,
+    protection: int = 0,
     tracer: "Tracer | None" = None,
     metrics: "MetricsRegistry | None" = None,
     max_ticks: "int | None" = None,
@@ -162,7 +167,11 @@ def run_serve_bench(
     per-tick chance of one random live session growing or shrinking by a
     member.  With ``fault_process`` set, a timeline generated up to
     ``fault_horizon`` (default: generously past the expected run length)
-    fires underneath the workload.
+    fires underneath the workload.  ``protection`` (plan budget F,
+    default 0 = reactive) precomputes per-link backup plans so
+    fault-driven failovers switch in O(1); the report's ``recovery``
+    block carries the resulting recovery-tick distribution and plan
+    hit/miss/stale counters.
     """
     if isinstance(network, int):
         # A conference-capable default fabric (``dilation`` is ignored
@@ -185,6 +194,7 @@ def run_serve_bench(
         retry=retry,
         rng=service_rng,
         route_cache=route_cache,
+        protection=protection,
         tracer=tracer,
         metrics=metrics,
         queue_capacity=queue_capacity,
@@ -305,6 +315,15 @@ def run_serve_bench(
 
     before = service.stats.ticks
     counts = service.shutdown()
+    healing_stats = service.healing.stats
+    recovery: dict[str, Any] = dict(
+        healing_stats.summarize_recovery(healing_stats.recovery_samples)
+    )
+    recovery.update(
+        plan_hits=healing_stats.plan_hits,
+        plan_misses=healing_stats.plan_misses,
+        plan_stale=healing_stats.plan_stale,
+    )
     return ServeBenchReport(
         n_ports=n,
         seed=seed,
@@ -318,6 +337,8 @@ def run_serve_bench(
         queue_capacity=queue_capacity,
         shed_policy=service.queue.policy.value,
         lost_sessions=counts.get(SessionState.LOST.value, 0),
+        protection=service.protection,
+        recovery=recovery,
         session_counts=counts,
         service=service.stats.as_dict(),
         queue=service.queue.stats.as_dict(),

@@ -132,7 +132,11 @@ class FabricService:
     All configuration is keyword-only and uses the library-wide spelling
     (``route_cache=``, ``tracer=``, ``metrics=``, ``rng=``).  ``retry``
     governs both the healing controller's restore backoff and the
-    service's own re-admission backoff for denied opens.
+    service's own re-admission backoff for denied opens.  ``protection``
+    (plan budget F, default 0 = reactive) turns on the healing
+    controller's precomputed fast failover: faults on protected links
+    switch sessions to stored backup plans in O(1) inside the same tick,
+    with decisions bit-identical to the reactive service.
     """
 
     def __init__(
@@ -142,6 +146,7 @@ class FabricService:
         retry: "RetryPolicy | None" = None,
         rng: "int | np.random.Generator | None" = None,
         route_cache: "RouteCache | None" = None,
+        protection: int = 0,
         tracer: "Tracer | None" = None,
         metrics: "MetricsRegistry | None" = None,
         queue_capacity: int = 1024,
@@ -158,6 +163,7 @@ class FabricService:
             retry=retry,
             rng=healing_rng,
             route_cache=route_cache,
+            protection=protection,
             tracer=tracer,
             metrics=metrics,
         )
@@ -193,6 +199,11 @@ class FabricService:
     def healing(self) -> SelfHealingController:
         """The fault-reactive controller underneath the service."""
         return self._healing
+
+    @property
+    def protection(self) -> int:
+        """The healing controller's backup-plan budget F (0 = reactive)."""
+        return self._healing.protection
 
     @property
     def sessions(self) -> SessionTable:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -132,6 +133,12 @@ class AvailabilityStats:
     retries_succeeded: int = 0
     retries_exhausted: int = 0
 
+    # -- protection fast path ----------------------------------------------
+    plan_hits: int = 0  # failovers served from a stored backup plan
+    plan_misses: int = 0  # unprotected link: reactive reroute search
+    plan_stale: int = 0  # plan invalidated by churn/overlap: reactive
+    _recovery_samples: list = field(default_factory=list)
+
     # -- conference outage windows ----------------------------------------
     _open_outages: dict = field(default_factory=dict)  # cid -> (start, deadline)
     outage_time: float = 0.0
@@ -186,6 +193,59 @@ class AvailabilityStats:
     def dropped_total(self) -> int:
         """All mid-call drops regardless of cause."""
         return sum(self.drops.values())
+
+    # -- protection fast path ----------------------------------------------
+
+    def record_plan_lookup(self, outcome: str) -> None:
+        """One backup-plan failover lookup: ``hit``, ``miss``, or ``stale``."""
+        if outcome == "hit":
+            self.plan_hits += 1
+        elif outcome == "stale":
+            self.plan_stale += 1
+        else:
+            self.plan_misses += 1
+
+    def record_recovery(self, ticks: float) -> None:
+        """Controller work spent deciding one disrupted conference's fate.
+
+        The cost model behind the protected-vs-unprotected comparison:
+        a failover served from a stored backup plan is an O(1) switch
+        (0 ticks); a reactive route search costs 1 tick.  Every
+        conference a ``fail`` transition disrupts records exactly one
+        sample — survivors and drops alike — so the distribution covers
+        all disruptions, while a drop's *outage* is charged separately
+        through the outage windows.
+        """
+        self._recovery_samples.append(float(ticks))
+
+    @property
+    def recovery_samples(self) -> tuple[float, ...]:
+        """Per-disruption recovery-tick samples, in event order."""
+        return tuple(self._recovery_samples)
+
+    @staticmethod
+    def summarize_recovery(samples) -> dict[str, float | int]:
+        """Count / mean / p50 / p95 / max of a recovery-tick sample set.
+
+        Nearest-rank percentiles on the sorted samples (deterministic,
+        no interpolation); all zeros for an empty set.  A static method
+        so sharded runs can fold per-shard samples into one table.
+        """
+        ordered = sorted(float(s) for s in samples)
+        n = len(ordered)
+
+        def nearest(q: float) -> float:
+            if not n:
+                return 0.0
+            return ordered[min(n - 1, max(0, math.ceil(q * n) - 1))]
+
+        return {
+            "recovery_events": n,
+            "recovery_ticks_mean": round(sum(ordered) / n, 6) if n else 0.0,
+            "recovery_ticks_p50": nearest(0.50),
+            "recovery_ticks_p95": nearest(0.95),
+            "recovery_ticks_max": ordered[-1] if n else 0.0,
+        }
 
     # -- conference outage windows ----------------------------------------
 
@@ -257,7 +317,7 @@ class AvailabilityStats:
 
     def summary(self) -> dict[str, float | int]:
         """Flat dict for tables/CSV (deterministic key order and rounding)."""
-        return {
+        out: dict[str, float | int] = {
             "availability": round(self.availability, 6),
             "degraded_fraction": round(self.degraded_fraction, 6),
             "outage_time": round(self.outage_time, 6),
@@ -274,4 +334,9 @@ class AvailabilityStats:
             "retries_scheduled": self.retries_scheduled,
             "retries_succeeded": self.retries_succeeded,
             "retries_exhausted": self.retries_exhausted,
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
+            "plan_stale": self.plan_stale,
         }
+        out.update(self.summarize_recovery(self._recovery_samples))
+        return out

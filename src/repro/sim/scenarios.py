@@ -77,6 +77,7 @@ def run_availability(
     retry: "RetryPolicy | None" = None,
     duration: float = 1000.0,
     seed: int = 0,
+    protection: int = 0,
     tracer=None,
     metrics=None,
 ) -> AvailabilityRun:
@@ -87,9 +88,12 @@ def run_availability(
     *identical* fault process) or pre-generated from ``process`` and the
     seed.  Traffic, fault, and retry-jitter randomness come from three
     independent child streams of ``seed``, so the whole run — every
-    transition, retry, and metric — is exactly reproducible.  ``tracer``
-    / ``metrics`` (see :mod:`repro.obs`) observe the run without
-    perturbing it.
+    transition, retry, and metric — is exactly reproducible.
+    ``protection`` (plan budget F) precomputes per-link backup routings
+    so protected failovers are O(1) — decisions stay bit-identical to
+    the reactive run, only the recovery-tick accounting moves.
+    ``tracer`` / ``metrics`` (see :mod:`repro.obs`) observe the run
+    without perturbing it.
     """
     check_positive(duration, "duration")
     config = config or TrafficConfig()
@@ -110,7 +114,12 @@ def run_availability(
             relay="on" if relay_enabled else "off",
         )
     healing = SelfHealingController(
-        network, retry=retry, rng=jitter_rng, tracer=tracer, metrics=metrics
+        network,
+        retry=retry,
+        rng=jitter_rng,
+        protection=protection,
+        tracer=tracer,
+        metrics=metrics,
     )
     injector = FaultInjector(network.topology, script=script, tracer=tracer)
     healing.attach(injector)

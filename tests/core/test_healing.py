@@ -133,6 +133,90 @@ class TestDegradationLadder:
         assert healing.current_faults == {(1, 0)}
 
 
+class TestDuplicateTransitions:
+    # Regression suite: duplicate/overlapping transitions must be
+    # *explicit* no-ops — no double accounting, no plan churn, no
+    # recovery samples — whether or not protection is armed.
+
+    def snapshot(self, healing):
+        s = healing.stats
+        return (
+            s.link_failures, s.link_repairs, s.dropped_total, s.reroutes,
+            s.tap_move_events, s.plan_hits, s.plan_misses, s.plan_stale,
+            s.recovery_samples,
+        )
+
+    @pytest.mark.parametrize("protection", [0, 4])
+    def test_duplicate_fail_changes_nothing(self, protection):
+        network = ConferenceNetwork.build("extra-stage-cube", N_PORTS, dilation=N_PORTS)
+        healing = SelfHealingController(network, rng=0, protection=protection)
+        route = healing.try_join(Conference.of([0, 1, 2], 0))
+        loop = EventLoop()
+        point = sorted(route.links)[0]
+        healing.apply_fault(loop, point)
+        before = self.snapshot(healing)
+        routes = {cid: healing.route_of(cid) for cid in healing.live_conferences}
+        plans = healing.plan_store.plans_of(0) if protection else None
+        healing.apply_fault(loop, point)  # exact duplicate
+        assert self.snapshot(healing) == before
+        assert {cid: healing.route_of(cid) for cid in healing.live_conferences} == routes
+        if protection:
+            assert healing.plan_store.plans_of(0) == plans
+
+    @pytest.mark.parametrize("protection", [0, 4])
+    def test_repair_of_never_failed_point_changes_nothing(self, protection):
+        network = ConferenceNetwork.build("extra-stage-cube", N_PORTS, dilation=N_PORTS)
+        healing = SelfHealingController(network, rng=0, protection=protection)
+        healing.try_join(Conference.of([0, 1, 2], 0))
+        loop = EventLoop()
+        before = self.snapshot(healing)
+        plans = healing.plan_store.plans_of(0) if protection else None
+        healing.apply_repair(loop, (1, 5))  # never failed
+        assert healing.stats.link_repairs == 0
+        assert self.snapshot(healing) == before
+        assert healing.current_faults == frozenset()
+        if protection:
+            assert healing.plan_store.plans_of(0) == plans
+
+    def test_stale_plan_falls_back_reactively(self):
+        # A plan whose base fault set no longer matches must never be
+        # used: the controller records ``stale`` and takes the reactive
+        # path, landing on the same outcome as an unprotected twin.
+        from repro.core.routing import route_conference
+
+        network = ConferenceNetwork.build("extra-stage-cube", N_PORTS, dilation=N_PORTS)
+        prot = SelfHealingController(network, rng=0, protection=64)
+        bare = SelfHealingController(
+            ConferenceNetwork.build("extra-stage-cube", N_PORTS, dilation=N_PORTS), rng=0
+        )
+        for ctl in (prot, bare):
+            ctl.try_join(Conference.of([0, 1, 2, 3], 0))
+        loop = EventLoop()
+        first = sorted(prot.route_of(0).links)[0]
+        for ctl in (prot, bare):
+            ctl.apply_fault(loop, first)
+        assert prot.stats.plan_hits == 1
+        # Overwrite the (correctly re-cut) plans with ones planned under
+        # the pre-fault base — exactly what an overlapping fault the
+        # planner never anticipated looks like to the lookup.
+        route = prot.route_of(0)
+        prot.plan_store.protect(
+            route.conference,
+            route,
+            frozenset(),  # stale base: pretends no fault is live
+            lambda conf, faults: route_conference(
+                network.topology, conf, network.policy, faults=faults
+            ),
+        )
+        second = sorted(route.links)[0]
+        for ctl in (prot, bare):
+            ctl.apply_fault(loop, second)
+        assert prot.stats.plan_stale == 1
+        assert prot.live_conferences == bare.live_conferences
+        for cid in prot.live_conferences:
+            assert prot.route_of(cid) == bare.route_of(cid)
+
+
 class TestRetries:
     def test_dropped_call_restored_after_repair(self):
         retry = RetryPolicy(max_retries=10, base_delay=1.0, backoff=1.0, jitter=0.0)
