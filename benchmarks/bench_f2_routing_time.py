@@ -1,76 +1,166 @@
-"""Experiment F2 — self-routing setup time vs network size.
+"""Experiment F2 — routing setup time vs network size, per engine.
 
-The abstract's "simpler self-routing algorithm" claim, measured: time
-to compute a conference route as ``N`` grows, per topology, for a fixed
-conference-size distribution.  The natural algorithm touches only the
-points a route uses, so per-conference cost grows with the route volume
-(O(K * 2^K) for span exponent K), not with network size.
+The abstract's "simpler self-routing algorithm" claim, measured two
+ways: the legacy per-object ``route_conference`` walk and the columnar
+bitset kernel behind ``route_batch``, over the same seeded conference
+batches.  Every timed cell first asserts byte-identity of the two
+engines' outputs (``repr`` for ``repr``) — the speedup is only worth
+reporting because the results are indistinguishable.
+
+Per-cell and aggregate routes/sec land in
+``benchmarks/results/f2_routing_time.*`` and the repo-root
+``BENCH_f2.json`` so the headline claim (the batch kernel routes the
+whole F2 sweep >= 10x faster than the legacy path) is auditable.  The
+in-test acceptance bound is deliberately looser (shared CI machines
+jitter); the checked-in artifact records the measured ratio.
+
+Run directly (``python benchmarks/bench_f2_routing_time.py``) or via
+pytest.
 """
+
+import json
+import time
+from pathlib import Path
 
 import pytest
 from _common import emit
 
+from repro.core.batch import route_batch
 from repro.core.conference import Conference
-from repro.core.routing import route_conference
 from repro.topology.builders import PAPER_TOPOLOGIES, build
 from repro.util.rng import ensure_rng
 
 SIZES = (16, 64, 256, 1024)
+BATCH = 256
+SEED = 42
+#: Headline target recorded in the artifact; the test asserts a looser
+#: floor so machine jitter cannot fail CI.
+SPEEDUP_TARGET = 10.0
+SPEEDUP_FLOOR = 3.0
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_f2.json"
 
 
-def sample_conferences(n_ports, count, seed=0):
+def sample_conferences(n_ports, count, seed=SEED):
     rng = ensure_rng(seed)
     confs = []
-    for i in range(count):
+    for cid in range(count):
         size = 2 + int(rng.poisson(2.0))
         members = rng.choice(n_ports, size=min(size, n_ports), replace=False)
-        confs.append(Conference.of(int(m) for m in members))
+        confs.append(Conference.of((int(m) for m in members), cid))
     return confs
 
 
+def _cells():
+    for name in sorted(PAPER_TOPOLOGIES):
+        for n_ports in SIZES:
+            yield name, n_ports
+
+
+def _time_engine(net, confs, engine, reps):
+    best = float("inf")
+    outcomes = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        outcomes = route_batch(net, confs, engine=engine)
+        best = min(best, time.perf_counter() - t0)
+    return best, outcomes
+
+
+def build_rows():
+    rows = []
+    total = {"legacy": 0.0, "bitset": 0.0}
+    for name, n_ports in _cells():
+        net = build(name, n_ports)
+        confs = sample_conferences(n_ports, BATCH)
+        net.successor_table  # warm the cached wiring tables
+        net.predecessor_table
+        reps = 3 if n_ports <= 256 else 2
+        wall = {}
+        results = {}
+        for engine in ("legacy", "bitset"):
+            wall[engine], results[engine] = _time_engine(net, confs, engine, reps)
+            total[engine] += wall[engine]
+        # Identity first, speed second: a fast wrong kernel is worthless.
+        for got, want in zip(results["bitset"], results["legacy"]):
+            assert got.ok == want.ok
+            if got.ok:
+                assert repr(got.route) == repr(want.route)
+            else:
+                assert got.error.args == want.error.args
+        rows.append(
+            {
+                "topology": name,
+                "N": n_ports,
+                "batch": BATCH,
+                "legacy_us_per_conf": round(wall["legacy"] / BATCH * 1e6, 2),
+                "bitset_us_per_conf": round(wall["bitset"] / BATCH * 1e6, 2),
+                "bitset_routes_per_s": round(BATCH / wall["bitset"]),
+                "speedup": round(wall["legacy"] / wall["bitset"], 2),
+            }
+        )
+    return rows, total
+
+
+def write_artifacts():
+    rows, total = build_rows()
+    aggregate = total["legacy"] / total["bitset"]
+    emit(
+        "f2_routing_time",
+        rows,
+        title=f"F2: routing time per conference, legacy vs bitset kernel "
+        f"(batches of {BATCH}; aggregate speedup {aggregate:.1f}x)",
+    )
+    payload = {
+        "experiment": "f2_routing_time",
+        "workload": {
+            "topologies": sorted(PAPER_TOPOLOGIES),
+            "sizes": list(SIZES),
+            "batch": BATCH,
+            "seed": SEED,
+        },
+        "cells": rows,
+        "wall_seconds": {
+            "legacy": total["legacy"],
+            "bitset": total["bitset"],
+        },
+        "aggregate_speedup": aggregate,
+        "target_speedup": SPEEDUP_TARGET,
+        "meets_target": aggregate >= SPEEDUP_TARGET,
+        "byte_identical": True,
+        "note": (
+            "aggregate = total legacy wall over total bitset wall for the "
+            "whole sweep; byte-identity of every cell's outcomes is "
+            "asserted before timing counts"
+        ),
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    assert aggregate >= SPEEDUP_FLOOR, (
+        f"bitset kernel only {aggregate:.1f}x over legacy — below the "
+        f"{SPEEDUP_FLOOR}x floor (target {SPEEDUP_TARGET}x)"
+    )
+    return payload
+
+
 @pytest.mark.parametrize("n_ports", SIZES)
-@pytest.mark.parametrize("name", sorted(PAPER_TOPOLOGIES))
-def test_f2_routing_time(benchmark, name, n_ports):
-    net = build(name, n_ports)
-    confs = sample_conferences(n_ports, 32, seed=42)
-    net.successor_table  # warm the cached wiring tables
+@pytest.mark.parametrize("engine", ["legacy", "bitset"])
+def test_f2_routing_time(benchmark, engine, n_ports):
+    net = build("indirect-binary-cube", n_ports)
+    confs = sample_conferences(n_ports, 32)
+    net.successor_table
     net.predecessor_table
-
-    def kernel():
-        for conf in confs:
-            route_conference(net, conf)
-
-    benchmark(kernel)
+    benchmark(lambda: route_batch(net, confs, engine=engine))
 
 
 def test_f2_summary_table(benchmark):
-    """Collects mean per-conference routing time into the F2 table."""
-    import time
-
-    rows = []
-    for name in sorted(PAPER_TOPOLOGIES):
-        for n_ports in SIZES:
-            net = build(name, n_ports)
-            confs = sample_conferences(n_ports, 32, seed=42)
-            net.successor_table
-            net.predecessor_table
-            t0 = time.perf_counter()
-            reps = 3
-            for _ in range(reps):
-                for conf in confs:
-                    route_conference(net, conf)
-            per_conf_us = (time.perf_counter() - t0) / (reps * len(confs)) * 1e6
-            rows.append(
-                {"topology": name, "N": n_ports, "route_time_us": round(per_conf_us, 1)}
-            )
+    """Times the full sweep and writes the F2 artifacts."""
     benchmark(lambda: None)
-    emit("f2_routing_time", rows, title="F2: self-routing time per conference (microseconds)")
-    # Routing stays in the low-millisecond range even at N=1024 for every
-    # topology (generous bound: wall-clock of a shared machine, not a
-    # performance spec — the pytest-benchmark timings above are the data).
-    assert all(r["route_time_us"] < 50_000 for r in rows)
-    # And cost is driven by route volume, not port count: the jump from
-    # N=16 to N=1024 stays well under the 64x port ratio.
-    by = {(r["topology"], r["N"]): r["route_time_us"] for r in rows}
-    for name in ("baseline", "omega", "indirect-binary-cube"):
+    payload = write_artifacts()
+    # Cost is driven by route volume, not port count: per-conference
+    # time from N=16 to N=1024 grows far slower than the 64x port ratio.
+    by = {(r["topology"], r["N"]): r["legacy_us_per_conf"] for r in payload["cells"]}
+    for name in PAPER_TOPOLOGIES:
         assert by[(name, 1024)] / by[(name, 16)] < 64
+
+
+if __name__ == "__main__":
+    print(json.dumps(write_artifacts(), indent=2, sort_keys=True))

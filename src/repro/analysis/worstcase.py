@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import networkx as nx
 import numpy as np
 
+from repro.core.batch import route_batch
 from repro.core.conference import Conference, ConferenceSet
 from repro.core.routing import RoutingPolicy, route_conference
 from repro.obs.metrics import timed
@@ -116,11 +117,15 @@ def exhaustive_max_multiplicity(
     net: MultistageNetwork,
     policy: "RoutingPolicy | None" = None,
     max_conferences: "int | None" = None,
+    engine: str = "bitset",
 ) -> SearchResult:
     """Ground-truth worst case by full enumeration (use only for N <= 8).
 
     Routes every family of disjoint conferences (all sizes >= 2) and
-    returns the maximum link multiplicity with a witness.
+    returns the maximum link multiplicity with a witness.  Routing runs
+    through the columnar kernel one family at a time
+    (``engine="legacy"`` keeps the per-object oracle); results are
+    byte-identical either way.
     """
     policy = policy or RoutingPolicy()
     best = SearchResult(0, None, None, 0, True)
@@ -130,6 +135,12 @@ def exhaustive_max_multiplicity(
         explored += 1
         if len(cs) < 2:
             continue
+        if engine == "bitset":
+            missing = [conf for conf in cs if conf.members not in route_cache]
+            if missing:
+                outcomes = route_batch(net, missing, policy, engine=engine)
+                for conf, outcome in zip(missing, outcomes):
+                    route_cache[conf.members] = outcome.unwrap().links
         loads: Counter = Counter()
         for conf in cs:
             links = route_cache.get(conf.members)
@@ -145,21 +156,39 @@ def exhaustive_max_multiplicity(
 
 
 def _pair_link_graph(
-    net: MultistageNetwork, policy: RoutingPolicy
+    net: MultistageNetwork, policy: RoutingPolicy, engine: str = "bitset"
 ) -> dict[Point, list[tuple[int, int]]]:
-    """For every link, the list of port pairs whose route uses it."""
+    """For every link, the list of port pairs whose route uses it.
+
+    All ``N(N-1)/2`` pair routes go through the columnar kernel in
+    bounded chunks; the per-link pair lists (and the dict's insertion
+    order) are identical to the sequential walk.
+    """
     by_link: dict[Point, list[tuple[int, int]]] = {}
-    for a in range(net.n_ports):
-        for b in range(a + 1, net.n_ports):
-            route = route_conference(net, Conference.of((a, b)), policy)
-            for link in route.links:
-                by_link.setdefault(link, []).append((a, b))
+    pairs = [(a, b) for a in range(net.n_ports) for b in range(a + 1, net.n_ports)]
+    if engine == "bitset":
+        chunk = 4096  # bounds resident Route objects, not correctness
+        for lo in range(0, len(pairs), chunk):
+            part = pairs[lo : lo + chunk]
+            outcomes = route_batch(
+                net, [Conference.of(p) for p in part], policy, engine=engine
+            )
+            for pair, outcome in zip(part, outcomes):
+                for link in outcome.unwrap().links:
+                    by_link.setdefault(link, []).append(pair)
+        return by_link
+    for a, b in pairs:
+        route = route_conference(net, Conference.of((a, b)), policy)
+        for link in route.links:
+            by_link.setdefault(link, []).append((a, b))
     return by_link
 
 
 @timed("repro_matching_bound")
 def matching_lower_bound(
-    net: MultistageNetwork, policy: "RoutingPolicy | None" = None
+    net: MultistageNetwork,
+    policy: "RoutingPolicy | None" = None,
+    engine: str = "bitset",
 ) -> SearchResult:
     """Exact worst case over 2-member conferences, any ``N``.
 
@@ -170,7 +199,7 @@ def matching_lower_bound(
     bound (and exhaustive search at small N) shows to be tight.
     """
     policy = policy or RoutingPolicy()
-    by_link = _pair_link_graph(net, policy)
+    by_link = _pair_link_graph(net, policy, engine=engine)
     best_mult, best_link, best_pairs = 0, None, []
     for link, pairs in by_link.items():
         if len(pairs) <= best_mult:
@@ -188,7 +217,9 @@ def matching_lower_bound(
 
 @timed("repro_matching_stage_profile")
 def matching_stage_profile(
-    net: MultistageNetwork, policy: "RoutingPolicy | None" = None
+    net: MultistageNetwork,
+    policy: "RoutingPolicy | None" = None,
+    engine: str = "bitset",
 ) -> tuple[int, ...]:
     """Exact per-level worst case over 2-member conferences.
 
@@ -197,7 +228,7 @@ def matching_stage_profile(
     ``repro.analysis.theory.stage_profile_law``.
     """
     policy = policy or RoutingPolicy()
-    by_link = _pair_link_graph(net, policy)
+    by_link = _pair_link_graph(net, policy, engine=engine)
     profile = [0] * net.n_stages
     for link, pairs in by_link.items():
         level = link[0]
@@ -219,6 +250,7 @@ def randomized_search(
     seed: "int | np.random.Generator | None" = None,
     workers: "int | None" = None,
     chunk_size: "int | None" = None,
+    engine: str = "bitset",
 ) -> SearchResult:
     """Stochastic hill climbing for a high-multiplicity conference set.
 
@@ -252,6 +284,7 @@ def randomized_search(
             seed=seed,
             workers=workers,
             chunk_size=chunk_size,
+            engine=engine,
         )
     from repro.parallel.cache import RouteCache
 
@@ -267,6 +300,11 @@ def randomized_search(
             (int(ports[2 * i]), int(ports[2 * i + 1]))
             for i in range(min(pool_size, n // 2))
         ]
+        if engine == "bitset":
+            # One columnar pass resolves the seed matching; the lookups
+            # below then hit.  Decisions are untouched (primed routes are
+            # byte-identical), only the routing work is batched.
+            cache.prime(pairs, engine=engine)
         loads: Counter = Counter()
         links_of: dict[tuple[int, int], frozenset[Point]] = {}
         for pair in pairs:
@@ -282,10 +320,26 @@ def randomized_search(
         free = [p for p in range(n) if p not in used]
         rng.shuffle(free)
         for i in range(len(free)):
+            if free[i] in used:
+                continue  # every inner pair would be skipped anyway
+            primed_until = i + 1  # greedy-scan candidates primed so far
             for j in range(i + 1, len(free)):
                 a, b = free[i], free[j]
                 if a in used or b in used:
                     continue
+                if engine == "bitset" and j >= primed_until:
+                    # Prime the next block of candidate pairs lazily: a
+                    # hit poisons the rest of this scan (``a`` becomes
+                    # used), so batching far ahead would route pairs the
+                    # sequential walk never asks for.
+                    block = []
+                    k = j
+                    while k < len(free) and len(block) < 64:
+                        if free[k] not in used:
+                            block.append((min(a, free[k]), max(a, free[k])))
+                        k += 1
+                    primed_until = k
+                    cache.prime(block, engine=engine)
                 pair = (min(a, b), max(a, b))
                 if target in cache.route(Conference.of(pair)).links:
                     keep.append(pair)

@@ -29,7 +29,12 @@ from __future__ import annotations
 
 from typing import Any, Protocol, runtime_checkable
 
-from repro.core.admission import AdmissionController, AdmissionDenied
+from repro.core.admission import (
+    AdmissionController,
+    AdmissionDenied,
+    BatchAdmissionOutcome,
+)
+from repro.core.batch import BatchRouteOutcome, route_batch
 from repro.core.conference import Conference, ConferenceSet
 from repro.core.conflict import ConflictReport, analyze_conflicts
 from repro.core.healing import RetryPolicy, SelfHealingController, SubmitOutcome
@@ -68,7 +73,7 @@ from repro.topology.network import MultistageNetwork
 
 #: Version of the public surface (bumped on any additive change; the
 #: library version tracks releases, this tracks the API contract).
-API_VERSION = "1.3"
+API_VERSION = "1.4"
 
 
 @runtime_checkable
@@ -116,6 +121,10 @@ __all__ = [
     "ConflictReport",
     "analyze_conflicts",
     "route_conference",
+    # columnar batch routing
+    "route_batch",
+    "BatchRouteOutcome",
+    "BatchAdmissionOutcome",
     # switching fabric
     "Fabric",
     "DeliveryReport",

@@ -293,6 +293,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(p.value for p in ShedPolicy),
     )
     serve.add_argument("--max-batch", type=int, default=64)
+    serve.add_argument(
+        "--batch-engine",
+        default="bitset",
+        choices=("bitset", "legacy"),
+        help="routing kernel for batched admission priming (results are "
+        "byte-identical either way; legacy stays for one release as the "
+        "differential oracle)",
+    )
     serve.add_argument("--json", metavar="PATH", help="write every response as JSON (shared result schema)")
     _add_telemetry_flags(serve)
 
@@ -331,6 +339,14 @@ def build_parser() -> argparse.ArgumentParser:
     bench_serve.add_argument(
         "--route-cache", action="store_true", help="memoize routing through a RouteCache"
     )
+    bench_serve.add_argument(
+        "--batch-engine",
+        default="bitset",
+        choices=("bitset", "legacy"),
+        help="routing kernel for batched admission priming (results are "
+        "byte-identical either way; legacy stays for one release as the "
+        "differential oracle)",
+    )
     bench_serve.add_argument("--json", metavar="PATH", help="write the report as JSON (shared result schema)")
     _add_telemetry_flags(bench_serve)
 
@@ -367,6 +383,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="backup plans per conference on every shard (0 = reactive)",
     )
     cluster.add_argument("--migration-budget", type=int, default=8, help="moves started per tick")
+    cluster.add_argument(
+        "--batch-engine",
+        default="bitset",
+        choices=("bitset", "legacy"),
+        help="routing kernel for batched admission priming (results are "
+        "byte-identical either way; legacy stays for one release as the "
+        "differential oracle)",
+    )
     cluster.add_argument("--json", metavar="PATH", help="write the report as JSON (shared result schema)")
     _add_telemetry_flags(cluster)
 
@@ -400,6 +424,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="backup plans per conference on every shard (0 = reactive)",
     )
     bench_cluster.add_argument("--migration-budget", type=int, default=8, help="moves started per tick")
+    bench_cluster.add_argument(
+        "--batch-engine",
+        default="bitset",
+        choices=("bitset", "legacy"),
+        help="routing kernel for batched admission priming (results are "
+        "byte-identical either way; legacy stays for one release as the "
+        "differential oracle)",
+    )
     bench_cluster.add_argument("--json", metavar="PATH", help="write the full report as JSON (shared result schema)")
     bench_cluster.add_argument(
         "--invariant-json",
@@ -740,6 +772,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_capacity=args.queue_capacity,
         shed_policy=args.shed_policy,
         max_batch=args.max_batch,
+        batch_engine=args.batch_engine,
     )
     workload = uniform_partition(args.ports, load=args.load, seed=args.seed)
 
@@ -831,6 +864,7 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         fault_process=process,
         route_cache=cache,
         protection=args.protection,
+        batch_engine=args.batch_engine,
         tracer=tracer,
         metrics=registry,
     )
@@ -899,6 +933,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         kill_shard_at=args.kill_at if args.kill_at >= 0 else None,
         add_shard_at=args.add_at if args.add_at >= 0 else None,
         protection=args.protection,
+        batch_engine=args.batch_engine,
         tracer=tracer,
         metrics=registry,
     )
@@ -975,6 +1010,7 @@ def _cmd_bench_cluster(args: argparse.Namespace) -> int:
         retry=retry,
         migration_budget=args.migration_budget,
         protection=args.protection,
+        batch_engine=args.batch_engine,
         tracer=tracer,
         metrics=registry,
     )

@@ -220,6 +220,7 @@ def run_cluster_bench(
     kill_shard_at: "int | None" = None,
     add_shard_at: "int | None" = None,
     protection: int = 0,
+    batch_engine: str = "bitset",
     tracer: "Tracer | None" = None,
     metrics: "MetricsRegistry | None" = None,
     max_ticks: "int | None" = None,
@@ -262,6 +263,7 @@ def run_cluster_bench(
         retry=retry,
         rng=service_rng,
         protection=protection,
+        batch_engine=batch_engine,
         tracer=tracer,
         metrics=metrics,
         queue_capacity=queue_capacity,

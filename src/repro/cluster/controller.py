@@ -186,6 +186,7 @@ class ClusterService:
         rng: "int | np.random.Generator | None" = None,
         route_cache: "RouteCache | None" = None,
         protection: int = 0,
+        batch_engine: str = "bitset",
         tracer: "Tracer | None" = None,
         metrics: "MetricsRegistry | None" = None,
         queue_capacity: int = 1024,
@@ -200,6 +201,7 @@ class ClusterService:
         self._rng = ensure_rng(rng)
         self._route_cache = route_cache
         self._protection = protection
+        self._batch_engine = batch_engine
         self.tracer = tracer
         self._metrics = metrics
         self._queue_capacity = queue_capacity
@@ -264,6 +266,11 @@ class ClusterService:
         """Backup-plan budget F applied uniformly to every shard fabric."""
         return self._protection
 
+    @property
+    def batch_engine(self) -> str:
+        """Routing engine (``bitset``/``legacy``) of every shard fabric."""
+        return self._batch_engine
+
     def active_weights(self) -> dict[str, float]:
         """Capacity weights of the currently placeable (ACTIVE) shards."""
         return {
@@ -313,6 +320,7 @@ class ClusterService:
             rng=shard_rng,
             route_cache=self._route_cache,
             protection=self._protection,
+            batch_engine=self._batch_engine,
             tracer=self.tracer,
             metrics=None,  # see module docstring: cluster owns the registry
             queue_capacity=self._queue_capacity,

@@ -1,0 +1,388 @@
+"""Columnar batch routing — the bitset kernel behind ``route_batch``.
+
+:func:`~repro.core.routing.route_conference` walks per-member Python
+dicts one conference at a time.  This module evaluates a whole *batch*
+of conferences stage-by-stage with wide integer operations, the idiom of
+stage-wide MIN evaluation: the routing state is a stack of
+``(n_conferences, n_rows)`` numpy arrays — one per level — where entry
+``[c, r]`` is the member bitmask of conference ``c`` present on row
+``r``.  One gather + bitwise-OR per stage replaces the per-signal
+propagation loop, and tap selection / backward marking reduce to array
+comparisons.
+
+The contract is **byte-identity** with the legacy core, not mere
+equality: the produced :class:`~repro.core.routing.Route` objects build
+their ``levels`` and ``taps`` dicts in the *same insertion order* the
+sequential algorithm uses, so ``repr``, JSON serialization, frozenset
+iteration of ``Route.links`` — and therefore every downstream
+order-sensitive decision (admission capacity messages, the worst-case
+search's ``max(loads.items())`` target pick) — are indistinguishable
+from the per-object path.  The differential grid in
+``tests/core/test_batch_differential.py`` holds the two engines side by
+side; ``engine="legacy"`` keeps the sequential oracle callable through
+the same entry point for one PR.
+
+Two inputs fall back to the sequential path per conference, with
+identical outcomes: conferences of more than :data:`MAX_KERNEL_MEMBERS`
+members (their masks overflow the int64 columns) and any batch routed
+under ``policy.prune=True`` (the greedy ablation is inherently
+sequential).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.conference import Conference
+from repro.core.conflict import ConflictReport
+from repro.core.routing import Route, RoutingPolicy, TapPolicy, UnroutableError, route_conference
+from repro.obs.metrics import timed
+from repro.topology.network import MultistageNetwork, Point
+from repro.util.bits import pack_rows
+
+__all__ = [
+    "MAX_KERNEL_MEMBERS",
+    "BatchRouteOutcome",
+    "route_batch",
+    "stage_occupancy",
+    "occupancy_words",
+    "analyze_conflicts_columnar",
+]
+
+#: Largest conference the int64 mask columns can represent (bit ``i`` of
+#: a column is member ``i``; ``1 << 62`` is the last in-range weight).
+MAX_KERNEL_MEMBERS = 63
+
+#: Soft bound on ``n_conferences * n_rows`` cells held live per level;
+#: larger batches are routed in chunks so memory stays flat.
+_MAX_CELLS = 1 << 18
+
+_ENGINES = ("bitset", "legacy")
+
+
+@dataclass(frozen=True)
+class BatchRouteOutcome:
+    """One conference's result within a :func:`route_batch` call.
+
+    Exactly one of ``route`` / ``error`` is set; ``error`` carries the
+    same exception (type and message) the sequential
+    :func:`~repro.core.routing.route_conference` call would have raised.
+    """
+
+    conference: Conference
+    route: "Route | None" = None
+    error: "ValueError | None" = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the conference was routed."""
+        return self.route is not None
+
+    def unwrap(self) -> Route:
+        """The route, or (re-)raise the recorded routing error."""
+        if self.route is not None:
+            return self.route
+        raise type(self.error)(*self.error.args)
+
+
+@timed("repro_route_batch")
+def route_batch(
+    net: MultistageNetwork,
+    conferences: "Sequence[Conference] | Iterable[Conference]",
+    policy: "RoutingPolicy | None" = None,
+    faults: "frozenset | None" = None,
+    engine: str = "bitset",
+) -> list[BatchRouteOutcome]:
+    """Route every conference of a batch; order is preserved.
+
+    Semantics per conference are exactly those of
+    :func:`~repro.core.routing.route_conference` under the same ``net``,
+    ``policy`` and ``faults`` — routing is a pure per-conference
+    function, so batching changes when the work happens, never the
+    result.  Failures (``UnroutableError`` under faults, ``ValueError``
+    for out-of-range members) are captured per conference instead of
+    aborting the batch.
+
+    ``engine`` selects the columnar kernel (``"bitset"``, default) or
+    the sequential oracle (``"legacy"``); outputs are byte-identical.
+    """
+    if engine not in _ENGINES:
+        raise ValueError(f"unknown batch engine {engine!r}; known: {', '.join(_ENGINES)}")
+    policy = policy or RoutingPolicy()
+    dead = frozenset(faults) if faults else frozenset()
+    confs = list(conferences)
+    if engine == "legacy" or policy.prune:
+        return [_route_one(net, conf, policy, dead) for conf in confs]
+    outcomes: "list[BatchRouteOutcome | None]" = [None] * len(confs)
+    kernel_idx: list[int] = []
+    for i, conf in enumerate(confs):
+        if conf.members[-1] >= net.n_ports:
+            outcomes[i] = BatchRouteOutcome(
+                conf,
+                error=ValueError(
+                    f"conference member {conf.members[-1]} out of range for "
+                    f"{net.n_ports}-port network"
+                ),
+            )
+        elif len(conf.members) > MAX_KERNEL_MEMBERS:
+            outcomes[i] = _route_one(net, conf, policy, dead)
+        else:
+            kernel_idx.append(i)
+    chunk = max(1, _MAX_CELLS // net.n_ports)
+    for start in range(0, len(kernel_idx), chunk):
+        part = kernel_idx[start : start + chunk]
+        for i, outcome in zip(part, _kernel(net, [confs[i] for i in part], policy, dead)):
+            outcomes[i] = outcome
+    return outcomes  # type: ignore[return-value]
+
+
+def _route_one(
+    net: MultistageNetwork, conf: Conference, policy: RoutingPolicy, dead: frozenset
+) -> BatchRouteOutcome:
+    """The sequential oracle wrapped in a per-conference outcome."""
+    try:
+        return BatchRouteOutcome(conf, route=route_conference(net, conf, policy, faults=dead or None))
+    except ValueError as exc:  # UnroutableError is a ValueError subclass
+        return BatchRouteOutcome(conf, error=exc)
+
+
+def _dead_rows_by_level(dead: frozenset, n_stages: int, n_rows: int) -> "list[np.ndarray | None]":
+    out: "list[np.ndarray | None]" = [None] * (n_stages + 1)
+    if dead:
+        by_level: dict[int, list[int]] = {}
+        for level, row in dead:
+            if 0 <= level <= n_stages and 0 <= row < n_rows:
+                by_level.setdefault(level, []).append(row)
+        for level, rows in by_level.items():
+            out[level] = np.asarray(rows, dtype=np.int64)
+    return out
+
+
+def _kernel(
+    net: MultistageNetwork,
+    confs: list[Conference],
+    policy: RoutingPolicy,
+    dead: frozenset,
+) -> list[BatchRouteOutcome]:
+    """The columnar forward/tap/backward sweep over one chunk."""
+    n_rows, n_stages, radix = net.n_ports, net.n_stages, net.radix
+    n_conf = len(confs)
+    succ, pred = net.successor_table, net.predecessor_table
+    dead_rows = _dead_rows_by_level(dead, n_stages, n_rows)
+
+    member_lists = [c.members for c in confs]
+    sizes = np.fromiter((len(m) for m in member_lists), dtype=np.int64, count=n_conf)
+    total = int(sizes.sum())
+    members = np.fromiter(
+        (p for mem in member_lists for p in mem), dtype=np.int64, count=total
+    )
+    offsets = np.concatenate([[0], np.cumsum(sizes)])
+    conf_of = np.repeat(np.arange(n_conf, dtype=np.int64), sizes)
+    # Bit weight of member i is its index within its conference.
+    idx_in_conf = np.arange(total, dtype=np.int64) - offsets[conf_of]
+    weights = np.left_shift(np.int64(1), idx_in_conf)
+    # Through uint64 so a 63-member conference's full mask (2**63 - 1)
+    # does not overflow the shift.
+    full = (np.left_shift(np.uint64(1), sizes.astype(np.uint64)) - 1).astype(np.int64)
+
+    # Forward pass: masks[t][c, r] = members of conference c whose signal
+    # can be present at point (t, r) through surviving paths.
+    cur = np.zeros((n_conf, n_rows), dtype=np.int64)
+    cur[conf_of, members] = weights
+    if dead_rows[0] is not None:
+        cur[:, dead_rows[0]] = 0
+    masks = [cur]
+    for s in range(n_stages):
+        nxt = cur[:, pred[s, :, 0]]
+        for side in range(1, radix):
+            nxt = nxt | cur[:, pred[s, :, side]]
+        if dead_rows[s + 1] is not None:
+            nxt[:, dead_rows[s + 1]] = 0
+        masks.append(nxt)
+        cur = nxt
+
+    # Tap selection: ok[t, i] = level t carries the full combination on
+    # member i's own row.
+    ok = np.stack([m[conf_of, members] for m in masks]) == full[conf_of]
+    if policy.tap_policy is TapPolicy.FINAL:
+        member_ok = ok[n_stages]
+        taps_of_member = np.full(len(members), n_stages, dtype=np.int64)
+    else:
+        member_ok = ok.any(axis=0)
+        taps_of_member = ok.argmax(axis=0)
+    routable = np.logical_and.reduceat(member_ok, offsets[:-1])
+    # First failing member per conference, in member order (the legacy
+    # loop raises at exactly that member).
+    first_bad = np.minimum.reduceat(
+        np.where(member_ok, len(members), np.arange(len(members))), offsets[:-1]
+    )
+
+    outcomes: "list[BatchRouteOutcome | None]" = [None] * n_conf
+    for c in np.flatnonzero(~routable):
+        port = confs[c].members[int(first_bad[c]) - int(offsets[c])]
+        if policy.tap_policy is TapPolicy.FINAL:
+            err = UnroutableError(
+                f"conference cannot be combined at final-stage output {port}"
+            )
+        else:
+            err = UnroutableError(
+                f"no surviving level combines the full conference on row {port}"
+            )
+        outcomes[c] = BatchRouteOutcome(confs[c], error=err)
+
+    # Backward pass: marked[t][c, r] = some tap of c is reachable from
+    # (t, r) through surviving points.
+    live = member_ok & routable[conf_of]
+    marked = [np.zeros((n_conf, n_rows), dtype=bool) for _ in range(n_stages + 1)]
+    for t in np.unique(taps_of_member[live]):
+        sel = live & (taps_of_member == t)
+        marked[t][conf_of[sel], members[sel]] = True
+    for t in range(n_stages, 0, -1):
+        below = marked[t]
+        prev = below[:, succ[t - 1, :, 0]]
+        for side in range(1, radix):
+            prev = prev | below[:, succ[t - 1, :, side]]
+        if dead_rows[t - 1] is not None:
+            prev[:, dead_rows[t - 1]] = 0
+        marked[t - 1] |= prev
+
+    # Used region + legacy insertion order.  The sequential algorithm
+    # builds each level's dict by iterating the previous level's dict in
+    # *its* order and the switch sides in table order; replaying that
+    # first-touch order here makes the dicts byte-identical, not merely
+    # equal (frozenset iteration of Route.links then matches too).
+    level_points: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    used0 = (masks[0] != 0) & marked[0]
+    keep = used0[conf_of, members]
+    confs_t, rows_t = conf_of[keep], members[keep]
+    level_points.append((confs_t, rows_t, masks[0][confs_t, rows_t]))
+    for t in range(n_stages):
+        used_next = (masks[t + 1] != 0) & marked[t + 1]
+        cand_rows = succ[t, rows_t, :].reshape(-1)
+        cand_confs = np.repeat(confs_t, radix)
+        keys = cand_confs * n_rows + cand_rows
+        uniq, first = np.unique(keys, return_index=True)
+        ok_next = used_next[uniq // n_rows, uniq % n_rows]
+        uniq, first = uniq[ok_next], first[ok_next]
+        order = np.argsort(first, kind="stable")
+        keys_next = uniq[order]
+        confs_t, rows_t = keys_next // n_rows, keys_next % n_rows
+        level_points.append((confs_t, rows_t, masks[t + 1][confs_t, rows_t]))
+
+    # Materialize Route objects (plain-int dicts, legacy field for field).
+    # Whole-level ``tolist`` conversions up front: per-conference numpy
+    # slicing would cost more than the kernel itself on small networks.
+    per_level = [
+        (
+            np.searchsorted(lvl_confs, np.arange(n_conf + 1)).tolist(),
+            lvl_rows.tolist(),
+            lvl_masks.tolist(),
+        )
+        for lvl_confs, lvl_rows, lvl_masks in level_points
+    ]
+    tap_list = taps_of_member.tolist()
+    offset_list = offsets.tolist()
+    for c in range(n_conf):
+        if outcomes[c] is not None:
+            continue
+        conf = confs[c]
+        levels = []
+        for bounds, lvl_rows, lvl_masks in per_level:
+            lo, hi = bounds[c], bounds[c + 1]
+            levels.append(dict(zip(lvl_rows[lo:hi], lvl_masks[lo:hi])))
+        taps = dict(zip(conf.members, tap_list[offset_list[c] : offset_list[c + 1]]))
+        # Direct field assembly: Route's frozen-dataclass __init__ costs
+        # five object.__setattr__ calls per instance, measurable at this
+        # volume; the resulting object is indistinguishable.
+        route = object.__new__(Route)
+        route.__dict__.update(
+            conference=conf,
+            n_ports=n_rows,
+            n_stages=n_stages,
+            levels=tuple(levels),
+            taps=taps,
+        )
+        outcomes[c] = BatchRouteOutcome(conf, route=route)
+    return outcomes  # type: ignore[return-value]
+
+
+# -- columnar conflict accounting ------------------------------------------
+
+
+def stage_occupancy(
+    routes: Iterable[Route], n_stages: int, n_rows: int
+) -> np.ndarray:
+    """Stage-major link-load matrix: ``[t, r]`` counts the routes using
+    the link entering ``(t, r)``.
+
+    Row 0 (the injection level) is always zero — injections are ports,
+    not links — so the matrix aligns index-for-index with point
+    coordinates.  Agrees entry-wise with
+    :func:`~repro.core.conflict.link_loads` (the property suite checks
+    this against random batches).
+    """
+    loads = np.zeros((n_stages + 1, n_rows), dtype=np.int64)
+    for route in routes:
+        for t in range(1, len(route.levels)):
+            rows = list(route.levels[t])
+            if rows:
+                loads[t, rows] += 1
+    return loads
+
+
+def occupancy_words(loads: np.ndarray) -> tuple[int, ...]:
+    """Per-level occupancy bitsets: bit ``r`` of word ``t`` is set when
+    some route uses the link entering ``(t, r)``.
+
+    The words round-trip through :func:`repro.util.bits.unpack_rows`
+    losslessly (a hypothesis property), giving a compact stage-major
+    fingerprint of which links a batch touches.
+    """
+    return tuple(pack_rows(np.flatnonzero(level).tolist()) for level in loads)
+
+
+def analyze_conflicts_columnar(
+    routes: Sequence[Route],
+    n_stages: "int | None" = None,
+    n_rows: "int | None" = None,
+) -> ConflictReport:
+    """Columnar :func:`~repro.core.conflict.analyze_conflicts`.
+
+    Builds the same :class:`~repro.core.conflict.ConflictReport` —
+    field-for-field equal, including the worst-link tie-break
+    (lexicographically smallest among max-load links) — from the
+    stage-major load matrix instead of a Counter walk.
+    """
+    routes = list(routes)
+    if n_stages is None:
+        if not routes:
+            raise ValueError("n_stages is required for an empty route collection")
+        n_stages = routes[0].n_stages
+    for r in routes:
+        if r.n_stages != n_stages:
+            raise ValueError("routes come from networks with different stage counts")
+    if n_rows is None:
+        n_rows = max((r.n_ports for r in routes), default=1)
+    loads = stage_occupancy(routes, n_stages, n_rows)
+    worst_load = int(loads.max()) if routes else 0
+    worst: "Point | None" = None
+    if worst_load > 0:
+        level, row = np.argwhere(loads == worst_load)[0]
+        worst = (int(level), int(row))
+    profile = tuple(int(v) for v in loads[1:].max(axis=1)) if n_stages else ()
+    positive = loads[loads > 0]
+    values, counts = np.unique(positive, return_counts=True)
+    return ConflictReport(
+        n_conferences=len(routes),
+        n_stages=n_stages,
+        max_multiplicity=worst_load,
+        worst_link=worst,
+        stage_profile=profile,
+        load_histogram=tuple(
+            (int(v), int(c)) for v, c in zip(values, counts)
+        ),
+        total_links_used=int(np.count_nonzero(loads)),
+    )

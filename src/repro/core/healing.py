@@ -47,6 +47,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.admission import AdmissionController, AdmissionDenied
+from repro.core.batch import route_batch
 from repro.core.conference import Conference, ConferenceSet
 from repro.core.network import ConferenceNetwork
 from repro.core.routing import Route, UnroutableError
@@ -221,10 +222,13 @@ class SelfHealingController:
         route_cache: "RouteCache | None" = None,
         protection: int = 0,
         plan_store: "BackupPlanStore | None" = None,
+        batch_engine: str = "bitset",
         tracer: "Tracer | None" = None,
         metrics: "MetricsRegistry | None" = None,
         seed: "int | np.random.Generator | None" = None,
     ):
+        if batch_engine not in ("bitset", "legacy"):
+            raise ValueError(f"unknown batch engine {batch_engine!r}")
         if seed is not None:
             # Pre-1.1 name for the jitter stream; one consistent spelling
             # (``rng=``) now covers AdmissionController / SelfHealing /
@@ -272,6 +276,11 @@ class SelfHealingController:
         self._metrics = metrics
         self._drop_spans: dict[int, int] = {}  # cid -> open conference.drop span
         self._rng = ensure_rng(rng)
+        self._batch_engine = batch_engine
+        # Routes precomputed by the columnar kernel for an imminent
+        # sequential walk, keyed ``(members, fault set)`` and consumed
+        # (popped) by ``_route`` — see ``prime_batch``.
+        self._primed: dict[tuple, "tuple | UnroutableError"] = {}
         self._faults: set[Point] = set()
         self._healthy: dict[int, Route] = {}  # cid -> fault-free reference route
         self._degraded: set[int] = set()
@@ -313,6 +322,11 @@ class SelfHealingController:
         return self._plans
 
     @property
+    def batch_engine(self) -> str:
+        """``"bitset"`` (columnar batch priming) or ``"legacy"``."""
+        return self._batch_engine
+
+    @property
     def current_faults(self) -> frozenset[Point]:
         """The dead points the controller currently routes around."""
         return frozenset(self._faults)
@@ -346,7 +360,75 @@ class SelfHealingController:
         """
         if self._cache is not None:
             return self._cache.route(conference, faults=faults)
+        if self._primed:
+            entry = self._primed.pop((conference.members, frozenset(faults)), None)
+            if entry is not None:
+                if isinstance(entry, UnroutableError):
+                    raise UnroutableError(*entry.args)
+                levels, taps = entry
+                return Route(
+                    conference=conference,
+                    n_ports=self._network.topology.n_ports,
+                    n_stages=self._network.topology.n_stages,
+                    levels=levels,
+                    taps=taps,
+                )
         return self._network.route(conference, faults=faults or None)
+
+    def prime_batch(
+        self,
+        conferences: "Iterable[Conference]",
+        faults: "frozenset[Point] | None" = None,
+        include_healthy: bool = False,
+    ) -> None:
+        """Precompute routes for an imminent sequential walk in one pass.
+
+        One columnar :func:`~repro.core.batch.route_batch` call resolves
+        every conference under ``faults`` (default: the current fault
+        set); the results are parked where :meth:`_route` looks first,
+        so the sequential decision walk that follows consumes them
+        one-for-one instead of routing per conference.  Decisions are
+        untouched — the kernel's results are byte-identical to the
+        per-object path — only the work moves.  With
+        ``include_healthy``, the fault-free reference routes that
+        :meth:`try_join` also needs under a live fault set are primed
+        too.  A no-op when ``batch_engine="legacy"``.
+        """
+        if self._batch_engine != "bitset":
+            return
+        confs = [
+            c if isinstance(c, Conference) else Conference.of(c) for c in conferences
+        ]
+        if not confs:
+            return
+        fault_sets = [frozenset(self._faults) if faults is None else frozenset(faults)]
+        if include_healthy and fault_sets[0]:
+            fault_sets.append(frozenset())
+        if self._cache is not None:
+            for fs in fault_sets:
+                self._cache.prime(confs, faults=fs, engine=self._batch_engine)
+            return
+        self._primed.clear()  # entries are single-shot; drop leftovers
+        for fs in fault_sets:
+            todo: dict[tuple, Conference] = {}
+            for conf in confs:
+                key = (conf.members, fs)
+                if key not in todo:
+                    todo[key] = conf
+            outcomes = route_batch(
+                self._network.topology,
+                list(todo.values()),
+                self._network.policy,
+                faults=fs or None,
+                engine=self._batch_engine,
+            )
+            for key, outcome in zip(todo, outcomes):
+                if outcome.ok:
+                    self._primed[key] = (outcome.route.levels, dict(outcome.route.taps))
+                elif isinstance(outcome.error, UnroutableError):
+                    self._primed[key] = UnroutableError(*outcome.error.args)
+                # Out-of-range members: not primeable — the sequential
+                # path raises the same ValueError itself.
 
     def link_load(self, link: Point) -> int:
         """Current channel load on one inter-stage link."""
@@ -402,6 +484,39 @@ class SelfHealingController:
             )
         self._count("repro_admissions_total", outcome="admitted")
         return route
+
+    def try_join_batch(
+        self,
+        conferences: "Iterable[Conference | list[int] | tuple[int, ...]]",
+        now: "float | None" = None,
+    ) -> list[SubmitOutcome]:
+        """Admit a batch: one columnar routing pass, sequential verdicts.
+
+        Routes the whole batch with the bitset kernel (via
+        :meth:`prime_batch`), then replays :meth:`try_join` in order, so
+        every outcome — including denial reasons and ledger state — is
+        identical to submitting the conferences one by one.  Returns one
+        :class:`SubmitOutcome` per conference, ``"admitted"`` (with the
+        route) or ``"lost"`` (with the denial reason); no retries are
+        scheduled.
+        """
+        confs = [
+            c if isinstance(c, Conference) else Conference.of(c) for c in conferences
+        ]
+        self.prime_batch(confs, include_healthy=True)
+        outcomes: list[SubmitOutcome] = []
+        for conference in confs:
+            try:
+                route = self.try_join(conference, now=now)
+            except AdmissionDenied as denial:
+                outcomes.append(
+                    SubmitOutcome("lost", conference.conference_id, reason=denial.reason)
+                )
+            else:
+                outcomes.append(
+                    SubmitOutcome("admitted", conference.conference_id, route=route)
+                )
+        return outcomes
 
     def _admit(self, conference: Conference) -> Route:
         clash = self._inner.ports_in_use & conference.member_set
@@ -563,11 +678,22 @@ class SelfHealingController:
         self._stats.record_link_failed(loop.now, point)
         self._count("repro_fault_transitions_total", kind="fail")
         faults = frozenset(self._faults)
-        for cid in sorted(self._inner.live_conferences):
-            old = self._inner.route_of(cid)
-            if point not in old.points:
-                continue  # signals on this route are untouched
-            self._heal(loop, cid, old, faults, point=point)
+        affected = [
+            cid
+            for cid in sorted(self._inner.live_conferences)
+            if point in self._inner.route_of(cid).points
+        ]
+        if self._plans is None:
+            # Reactive healing reroutes every affected conference: do the
+            # routing in one columnar pass, then walk the ladder.  (With
+            # protection on, plan hits skip routing entirely — priming
+            # would compute routes the fastpath never asks for.)
+            self.prime_batch(
+                [self._inner.route_of(cid).conference for cid in affected],
+                faults=faults,
+            )
+        for cid in affected:
+            self._heal(loop, cid, self._inner.route_of(cid), faults, point=point)
         self._reprotect(faults)
         self._observe(loop.now)
 
@@ -585,6 +711,10 @@ class SelfHealingController:
         self._stats.record_link_repaired(loop.now, point)
         self._count("repro_fault_transitions_total", kind="repair")
         faults = frozenset(self._faults)
+        self.prime_batch(
+            [self._inner.route_of(cid).conference for cid in sorted(self._degraded)],
+            faults=faults,
+        )
         for cid in sorted(self._degraded):
             cur = self._inner.route_of(cid)
             try:

@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
+from repro.core.batch import route_batch as _batch_route
 from repro.core.conference import Conference, ConferenceSet
 from repro.core.conflict import ConflictReport, analyze_conflicts
 from repro.core.routing import Route, RoutingPolicy, TapPolicy, route_conference
@@ -188,6 +189,28 @@ class ConferenceNetwork:
         """Route every conference of a disjoint set; order is preserved."""
         conferences = self._coerce_set(conferences)
         return tuple(self.route(conf) for conf in conferences)
+
+    def route_batch(
+        self,
+        conferences: "ConferenceSet | Iterable[Iterable[int]]",
+        engine: str = "bitset",
+    ) -> tuple[Route, ...]:
+        """Route a disjoint set in one columnar pass; order is preserved.
+
+        The batched equivalent of :meth:`route_set`: the bitset kernel
+        (:func:`repro.core.batch.route_batch`) evaluates every
+        conference's layered graph stage by stage with numpy columnar
+        state, returning routes **byte-identical** to the sequential
+        path, and raises the same error the first failing conference's
+        :meth:`route` call would have raised.  ``engine="legacy"``
+        selects the per-object oracle the differential suite compares
+        against.
+        """
+        conferences = self._coerce_set(conferences)
+        outcomes = _batch_route(
+            self._topology, list(conferences), self._policy, engine=engine
+        )
+        return tuple(outcome.unwrap() for outcome in outcomes)
 
     def conflicts(self, routes: Sequence[Route]) -> ConflictReport:
         """Conflict analysis of already-computed routes."""

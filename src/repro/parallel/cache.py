@@ -229,6 +229,55 @@ class RouteCache:
         self._store(key, (route.levels, dict(route.taps)))
         return route
 
+    def prime(
+        self,
+        conferences: "Iterable[Conference | list[int] | tuple[int, ...]]",
+        faults: "frozenset[Point] | None" = None,
+        engine: str = "bitset",
+    ) -> int:
+        """Batch-compute and store routes for every absent conference.
+
+        The columnar kernel (:func:`repro.core.batch.route_batch`) routes
+        all misses in one pass; present entries are left untouched, so a
+        ``prime`` followed by ``route`` calls returns exactly the routes
+        the sequential path would have computed — priming moves work, not
+        decisions.  Hit/miss statistics and trace events are *not*
+        recorded here (they belong to lookups); only evictions tick when
+        the batch overflows ``maxsize``.  Returns the number of entries
+        inserted.
+        """
+        from repro.core.batch import route_batch
+
+        key_faults = self._faults if faults is None else (frozenset(faults) or _NO_FAULTS)
+        todo: "OrderedDict[tuple, Conference]" = OrderedDict()
+        for conference in conferences:
+            if not isinstance(conference, Conference):
+                conference = Conference.of(conference)
+            key = (conference.members, key_faults)
+            if key not in self._entries and key not in todo:
+                todo[key] = conference
+        if not todo:
+            return 0
+        outcomes = route_batch(
+            self._network,
+            list(todo.values()),
+            self._policy,
+            faults=key_faults or None,
+            engine=engine,
+        )
+        stored = 0
+        for key, outcome in zip(todo, outcomes):
+            if outcome.ok:
+                self._store(key, (outcome.route.levels, dict(outcome.route.taps)))
+            elif isinstance(outcome.error, UnroutableError):
+                self._store(key, UnroutableError(*outcome.error.args))
+            else:
+                # Out-of-range members: not cacheable — the sequential
+                # lookup raises the same ValueError itself.
+                continue
+            stored += 1
+        return stored
+
     def _store(self, key: tuple, entry: "tuple | UnroutableError") -> None:
         self._entries[key] = entry
         if len(self._entries) > self._maxsize:

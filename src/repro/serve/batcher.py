@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.serve.backpressure import AdmissionQueue
-from repro.serve.protocol import ServiceResponse, SessionRequest
+from repro.serve.protocol import RequestKind, ServiceResponse, SessionRequest
 
 __all__ = ["BatchReport", "Batcher"]
 
@@ -74,6 +74,18 @@ class Batcher:
     def next_batch(self, queue: AdmissionQueue) -> list[SessionRequest]:
         """This tick's workload, in service order (may be empty)."""
         return queue.take(self._max_batch)
+
+    @staticmethod
+    def open_requests(batch: list[SessionRequest]) -> list[SessionRequest]:
+        """The OPEN requests of one batch, in service order.
+
+        This is the prefetch set of the admission pass: every one of
+        these will ask the routing engine for a route, so the service
+        primes them through the columnar kernel in one
+        ``route_batch`` call before :meth:`execute` replays the
+        per-request decisions.
+        """
+        return [request for request in batch if request.kind == RequestKind.OPEN]
 
     def execute(
         self,

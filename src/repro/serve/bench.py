@@ -154,6 +154,7 @@ def run_serve_bench(
     fault_horizon: "float | None" = None,
     route_cache: "RouteCache | None" = None,
     protection: int = 0,
+    batch_engine: str = "bitset",
     tracer: "Tracer | None" = None,
     metrics: "MetricsRegistry | None" = None,
     max_ticks: "int | None" = None,
@@ -195,6 +196,7 @@ def run_serve_bench(
         rng=service_rng,
         route_cache=route_cache,
         protection=protection,
+        batch_engine=batch_engine,
         tracer=tracer,
         metrics=metrics,
         queue_capacity=queue_capacity,

@@ -147,6 +147,7 @@ class FabricService:
         rng: "int | np.random.Generator | None" = None,
         route_cache: "RouteCache | None" = None,
         protection: int = 0,
+        batch_engine: str = "bitset",
         tracer: "Tracer | None" = None,
         metrics: "MetricsRegistry | None" = None,
         queue_capacity: int = 1024,
@@ -164,6 +165,7 @@ class FabricService:
             rng=healing_rng,
             route_cache=route_cache,
             protection=protection,
+            batch_engine=batch_engine,
             tracer=tracer,
             metrics=metrics,
         )
@@ -204,6 +206,11 @@ class FabricService:
     def protection(self) -> int:
         """The healing controller's backup-plan budget F (0 = reactive)."""
         return self._healing.protection
+
+    @property
+    def batch_engine(self) -> str:
+        """The routing engine for per-tick batches (``bitset``/``legacy``)."""
+        return self._healing.batch_engine
 
     @property
     def sessions(self) -> SessionTable:
@@ -392,6 +399,7 @@ class FabricService:
         sid = None
         if self.tracer is not None and batch:
             sid = self.tracer.span_open("serve.batch", t=self.now, size=len(batch))
+        self._prime_batch(batch)
         report, _ = self._batcher.execute(batch, self._handle, self.now)
         if sid is not None:
             self.tracer.span_close(
@@ -401,6 +409,25 @@ class FabricService:
         self.stats.ticks += 1
         self._observe(report)
         return report
+
+    def _prime_batch(self, batch: "list[SessionRequest]") -> None:
+        """Route this tick's OPEN backlog in one columnar kernel pass.
+
+        The per-request admission walk in ``_handle`` then consumes the
+        precomputed routes instead of routing one conference at a time;
+        decisions are unchanged (the kernel is byte-identical to the
+        sequential path) — only the routing work is batched.
+        """
+        conferences = []
+        for request in self._batcher.open_requests(batch):
+            session = self._sessions.get(self._session_of_request[request.request_id])
+            if session is None or session.state is SessionState.CLOSED:
+                continue  # cancelled while queued: _handle_open rejects it
+            conferences.append(
+                Conference.of(session.members, conference_id=session.conference_id)
+            )
+        if conferences:
+            self._healing.prime_batch(conferences, include_healthy=True)
 
     def _handle(self, request: SessionRequest, batch_seq: int) -> ServiceResponse:
         self._inflight.discard(request.request_id)

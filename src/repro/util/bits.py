@@ -40,6 +40,8 @@ __all__ = [
     "popcount",
     "iter_bits",
     "mask_of",
+    "pack_rows",
+    "unpack_rows",
 ]
 
 
@@ -220,3 +222,34 @@ def popcount(x: int) -> int:
 def iter_bits(x: int, n: int) -> Sequence[int]:
     """Bits of ``x`` as a tuple ``(bit 0, bit 1, ..., bit n-1)``."""
     return tuple((x >> i) & 1 for i in range(n))
+
+
+def pack_rows(rows: Iterable[int]) -> int:
+    """Pack a set of row indices into one occupancy word (bit ``r`` set
+    iff ``r`` occurs).
+
+    The stage-major words of the columnar routing core
+    (:func:`repro.core.batch.occupancy_words`) are built with this;
+    :func:`unpack_rows` is its exact inverse for any set of non-negative
+    indices (a hypothesis property).
+    """
+    word = 0
+    for r in rows:
+        if r < 0:
+            raise ValueError(f"row indices must be >= 0, got {r}")
+        word |= 1 << r
+    return word
+
+
+def unpack_rows(word: int) -> tuple[int, ...]:
+    """The row indices packed into an occupancy word, ascending."""
+    if word < 0:
+        raise ValueError(f"occupancy words are non-negative, got {word}")
+    out = []
+    r = 0
+    while word:
+        if word & 1:
+            out.append(r)
+        word >>= 1
+        r += 1
+    return tuple(out)

@@ -1,0 +1,277 @@
+"""Differential harness: the bitset kernel against the sequential oracle.
+
+``route_batch(..., engine="bitset")`` promises **byte-identity** with
+the legacy per-object path, not mere equality: Route dicts built in the
+same insertion order, frozensets iterating identically, errors raised
+with the same type and message.  This grid holds the two engines side by
+side across topologies, tap policies, fault sets, seeds and batch sizes
+and compares the strongest observable form of each output — ``repr``
+bytes for routes, ``list()`` order for frozensets, ``args`` for errors,
+whole outcome/ledger structures for the admission and healing layers.
+
+Byte-identity is what lets the legacy path retire next PR: any place the
+kernel's order diverged would surface here as a diff, long before it
+could skew an admission message or a worst-case search pick.
+"""
+
+import pytest
+
+from repro.core.admission import AdmissionController, AdmissionDenied
+from repro.core.batch import (
+    MAX_KERNEL_MEMBERS,
+    analyze_conflicts_columnar,
+    route_batch,
+)
+from repro.core.conference import Conference
+from repro.core.conflict import analyze_conflicts
+from repro.core.healing import SelfHealingController
+from repro.core.network import ConferenceNetwork
+from repro.core.routing import RoutingPolicy, UnroutableError
+from repro.sim.engine import EventLoop
+from repro.topology.builders import build
+from repro.util.rng import ensure_rng
+from repro.workloads.generators import uniform_partition
+
+pytestmark = pytest.mark.tier1
+
+TOPOLOGIES = ("omega", "baseline", "indirect-binary-cube", "extra-stage-cube")
+
+
+def random_batch(n_ports, rng, size, max_members=6):
+    """Non-disjoint conferences (overlap stresses tap/conflict paths)."""
+    batch = []
+    for cid in range(size):
+        k = int(rng.integers(2, max_members + 1))
+        members = rng.choice(n_ports, size=min(k, n_ports), replace=False)
+        batch.append(Conference.of((int(m) for m in members), cid))
+    return batch
+
+
+def assert_outcomes_identical(bitset, legacy):
+    assert len(bitset) == len(legacy)
+    for got, want in zip(bitset, legacy):
+        assert got.conference == want.conference
+        assert got.ok == want.ok
+        if want.ok:
+            # repr covers every field *and* dict insertion order.
+            assert repr(got.route) == repr(want.route)
+            # frozenset iteration order is the subtle half of the
+            # contract: it drives Counter order and admission messages.
+            assert list(got.route.links) == list(want.route.links)
+            assert list(got.route.points) == list(want.route.points)
+            assert list(got.route.taps) == list(want.route.taps)
+        else:
+            assert type(got.error) is type(want.error)
+            assert got.error.args == want.error.args
+
+
+class TestRouteBatchGrid:
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    @pytest.mark.parametrize("tap", ["earliest", "final"])
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_grid_topology_tap_seed(self, topology, tap, seed):
+        net = build(topology, 16)
+        policy = RoutingPolicy(tap_policy=tap)
+        rng = ensure_rng(seed)
+        batch = random_batch(16, rng, size=24)
+        bitset = route_batch(net, batch, policy, engine="bitset")
+        legacy = route_batch(net, batch, policy, engine="legacy")
+        assert_outcomes_identical(bitset, legacy)
+
+    @pytest.mark.parametrize("size", [1, 3, 40, 200])
+    def test_batch_sizes_cross_chunk_boundaries(self, size):
+        net = build("indirect-binary-cube", 16)
+        rng = ensure_rng(size)
+        batch = random_batch(16, rng, size=size)
+        assert_outcomes_identical(
+            route_batch(net, batch, engine="bitset"),
+            route_batch(net, batch, engine="legacy"),
+        )
+
+    def test_larger_network(self):
+        net = build("omega", 64)
+        rng = ensure_rng(3)
+        batch = random_batch(64, rng, size=32, max_members=10)
+        assert_outcomes_identical(
+            route_batch(net, batch, engine="bitset"),
+            route_batch(net, batch, engine="legacy"),
+        )
+
+    @pytest.mark.parametrize("topology", ["indirect-binary-cube", "extra-stage-cube"])
+    @pytest.mark.parametrize("seed", [1, 5])
+    def test_grid_under_faults(self, topology, seed):
+        net = build(topology, 16)
+        rng = ensure_rng(seed)
+        faults = frozenset(
+            (int(rng.integers(1, net.n_stages + 1)), int(rng.integers(net.n_ports)))
+            for _ in range(4)
+        )
+        batch = random_batch(16, rng, size=30)
+        bitset = route_batch(net, batch, faults=faults, engine="bitset")
+        legacy = route_batch(net, batch, faults=faults, engine="legacy")
+        assert_outcomes_identical(bitset, legacy)
+        # The fault grid must actually exercise the failure branch.
+        if topology == "indirect-binary-cube":
+            assert any(isinstance(o.error, UnroutableError) for o in bitset)
+
+    def test_out_of_range_member_message(self):
+        net = build("omega", 16)
+        batch = [Conference.of([0, 1]), Conference.of([2, 99]), Conference.of([3, 4])]
+        bitset = route_batch(net, batch, engine="bitset")
+        legacy = route_batch(net, batch, engine="legacy")
+        assert_outcomes_identical(bitset, legacy)
+        assert not bitset[1].ok
+        assert type(bitset[1].error) is ValueError
+        with pytest.raises(ValueError) as excinfo:
+            bitset[1].unwrap()
+        assert excinfo.value.args == legacy[1].error.args
+
+    def test_oversized_conference_falls_back_to_legacy(self):
+        net = build("omega", 128)
+        big = Conference.of(range(MAX_KERNEL_MEMBERS + 1))
+        small = Conference.of([1, 2])
+        assert_outcomes_identical(
+            route_batch(net, [big, small], engine="bitset"),
+            route_batch(net, [big, small], engine="legacy"),
+        )
+
+    def test_prune_policy_falls_back_to_legacy(self):
+        net = build("indirect-binary-cube", 16)
+        policy = RoutingPolicy(prune=True)
+        batch = random_batch(16, ensure_rng(2), size=8)
+        assert_outcomes_identical(
+            route_batch(net, batch, policy, engine="bitset"),
+            route_batch(net, batch, policy, engine="legacy"),
+        )
+
+    def test_unknown_engine_rejected(self):
+        net = build("omega", 16)
+        with pytest.raises(ValueError, match="unknown batch engine"):
+            route_batch(net, [Conference.of([0, 1])], engine="simd")
+
+    def test_empty_batch(self):
+        net = build("omega", 16)
+        assert route_batch(net, [], engine="bitset") == []
+
+
+class TestConflictEquality:
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    @pytest.mark.parametrize("seed", [0, 9])
+    def test_columnar_report_equals_counter_walk(self, topology, seed):
+        net = build(topology, 16)
+        workload = uniform_partition(16, load=0.9, seed=seed)
+        routes = [
+            o.unwrap() for o in route_batch(net, list(workload), engine="bitset")
+        ]
+        columnar = analyze_conflicts_columnar(routes, net.n_stages, net.n_ports)
+        counter = analyze_conflicts(routes, n_stages=net.n_stages)
+        assert columnar == counter  # frozen dataclass: field-for-field
+
+    def test_empty_routes_need_explicit_stage_count(self):
+        with pytest.raises(ValueError):
+            analyze_conflicts_columnar([])
+        report = analyze_conflicts_columnar([], n_stages=4, n_rows=16)
+        assert report.max_multiplicity == 0
+        assert report.worst_link is None
+
+
+class TestAdmissionBatchDifferential:
+    def controller(self):
+        return AdmissionController(
+            ConferenceNetwork.build("indirect-binary-cube", 16, dilation=2)
+        )
+
+    def offered(self, seed=0):
+        rng = ensure_rng(seed)
+        offered = random_batch(16, rng, size=12)
+        offered.append(Conference.of([0, 1], offered[0].conference_id))  # dup id
+        offered.append(Conference.of(offered[1].members, 90))  # port clash twin
+        offered.append(Conference.of([5, 77], 91))  # out of range
+        return offered
+
+    @pytest.mark.parametrize("seed", [0, 4])
+    def test_batch_replays_sequential_decisions(self, seed):
+        offered = self.offered(seed)
+        sequential = self.controller()
+        expected = []
+        for conf in offered:
+            try:
+                expected.append(("admitted", repr(sequential.try_join(conf))))
+            except AdmissionDenied as denial:
+                expected.append(("denied", denial.reason, denial.detail))
+            except ValueError as exc:
+                expected.append(("error", type(exc).__name__, exc.args))
+
+        batched = self.controller()
+        outcomes = batched.try_join_batch(offered, engine="bitset")
+        got = []
+        for outcome in outcomes:
+            if outcome.ok:
+                got.append(("admitted", repr(outcome.route)))
+            elif outcome.denial is not None:
+                got.append(("denied", outcome.denial.reason, outcome.denial.detail))
+            else:
+                got.append(("error", type(outcome.error).__name__, outcome.error.args))
+        assert got == expected
+        assert batched.live_conferences == sequential.live_conferences
+        for cid in batched.live_conferences:
+            assert repr(batched.route_of(cid)) == repr(sequential.route_of(cid))
+
+    def test_engines_agree_end_to_end(self):
+        offered = self.offered(2)
+        via_bitset = self.controller().try_join_batch(offered, engine="bitset")
+        via_legacy = self.controller().try_join_batch(offered, engine="legacy")
+        for got, want in zip(via_bitset, via_legacy):
+            assert got.ok == want.ok
+            if got.ok:
+                assert repr(got.route) == repr(want.route)
+            elif got.denial is not None:
+                assert (got.denial.reason, got.denial.detail) == (
+                    want.denial.reason,
+                    want.denial.detail,
+                )
+            else:
+                assert got.error.args == want.error.args
+
+
+class TestHealingBatchDifferential:
+    def scenario(self, engine):
+        """A full fault/repair drill; returns every observable artifact."""
+        network = ConferenceNetwork.build("extra-stage-cube", 16, dilation=16)
+        healing = SelfHealingController(network, rng=0, batch_engine=engine)
+        loop = EventLoop()
+        log = []
+        outcomes = healing.try_join_batch(random_batch(16, ensure_rng(6), size=10))
+        log.append([(o.status, o.conference_id, o.reason) for o in outcomes])
+        for point in [(1, 0), (2, 5), (3, 11)]:
+            healing.apply_fault(loop, point)
+            log.append(sorted(healing.degraded_conferences))
+        for point in [(2, 5), (1, 0)]:
+            healing.apply_repair(loop, point)
+            log.append(sorted(healing.degraded_conferences))
+        routes = {
+            cid: repr(healing.route_of(cid)) for cid in healing.live_conferences
+        }
+        return log, routes
+
+    def test_drill_is_engine_invariant(self):
+        assert self.scenario("bitset") == self.scenario("legacy")
+
+    def test_unknown_engine_rejected(self):
+        network = ConferenceNetwork.build("omega", 16)
+        with pytest.raises(ValueError, match="unknown batch engine"):
+            SelfHealingController(network, batch_engine="simd")
+
+
+class TestNetworkFacade:
+    def test_route_batch_matches_route_set(self):
+        net = ConferenceNetwork.build("baseline", 16, dilation=16)
+        groups = [[0, 3], [4, 5, 6], [8, 12, 13]]
+        batched = net.route_batch(groups)
+        sequential = net.route_set(groups)
+        assert [repr(r) for r in batched] == [repr(r) for r in sequential]
+
+    def test_route_batch_raises_first_sequential_error(self):
+        net = ConferenceNetwork.build("omega", 16)
+        with pytest.raises(ValueError):
+            net.route_batch([[0, 1], [2, 99]])

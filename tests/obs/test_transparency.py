@@ -121,16 +121,19 @@ class TestRunnerMetricsMerge:
 
     def test_timed_kernel_observations_survive_the_pool(self):
         # timed() records inside worker *processes*; the chunk reducer
-        # must ship those histograms back.  (Counts are not compared
-        # against a serial run on purpose: the per-process shared route
-        # cache makes the number of cold route computations depend on
-        # cache warmth, which differs between a pool worker and the
-        # long-lived test process.)
+        # must ship those histograms back.  The routing kernel is the
+        # batch prime (trials route through the columnar core and hit
+        # the warmed cache), so `repro_route_batch` is the histogram
+        # that must survive.  (Counts are not compared against a serial
+        # run on purpose: the per-process shared route cache makes the
+        # number of cold computations depend on cache warmth, which
+        # differs between a pool worker and the long-lived test
+        # process.)
         pool_reg = MetricsRegistry()
         random_load_arm(
             "indirect-binary-cube", N_PORTS, trials=6, seed=9,
             workers=2, chunk_size=2, metrics=pool_reg,
         )
-        name = "repro_route_conference_seconds"
+        name = "repro_route_batch_seconds"
         assert name in pool_reg
         assert pool_reg.histogram(name).count() > 0

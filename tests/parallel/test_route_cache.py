@@ -277,3 +277,48 @@ class TestCacheStats:
         total = CacheStats.merged(cache.stats for cache in caches)
         assert (total.hits, total.misses) == (2, 2)
         assert total.hit_rate == pytest.approx(0.5)
+
+
+class TestBatchPriming:
+    def test_primed_equals_fresh_and_counts_inserts(self):
+        cache = RouteCache(NET)
+        batch = [Conference.of([0, 1]), Conference.of([2, 3, 4]), [0, 1]]
+        assert cache.prime(batch) == 2  # third entry dedupes onto the first
+        assert len(cache) == 2
+        for conference in (Conference.of([0, 1]), Conference.of([2, 3, 4])):
+            assert _outcome(lambda: cache.route(conference)) == _outcome(
+                lambda: route_conference(NET, conference, POLICY)
+            )
+        # Primed entries were found warm: no misses, no recomputation.
+        assert cache.stats.misses == 0
+        assert cache.stats.hits == 2
+
+    def test_prime_skips_present_entries(self):
+        cache = RouteCache(NET)
+        cache.route(Conference.of([0, 1]))
+        assert cache.prime([Conference.of([0, 1])]) == 0
+
+    def test_prime_stores_negative_entries(self):
+        net = build("indirect-binary-cube", N_PORTS)
+        cache = RouteCache(net)
+        conference = Conference.of([0, 1])
+        dead = frozenset(
+            {next(iter(cache.route(conference).points & set(fault_universe(net))))}
+        )
+        assert cache.prime([conference], faults=dead) == 1
+        with pytest.raises(UnroutableError):
+            cache.route(conference, faults=dead)
+        assert cache.stats.unroutable == 0  # primed, never computed on lookup
+
+    def test_prime_never_caches_out_of_range_errors(self):
+        cache = RouteCache(NET)
+        assert cache.prime([Conference.of([0, 99])]) == 0
+        with pytest.raises(ValueError):
+            cache.route(Conference.of([0, 99]))
+
+    def test_prime_engines_agree(self):
+        conference = Conference.of([1, 2, 6])
+        via_bitset, via_legacy = RouteCache(NET), RouteCache(NET)
+        via_bitset.prime([conference], engine="bitset")
+        via_legacy.prime([conference], engine="legacy")
+        assert repr(via_bitset.route(conference)) == repr(via_legacy.route(conference))
