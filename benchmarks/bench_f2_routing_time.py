@@ -1,18 +1,18 @@
-"""Experiment F2 — routing setup time vs network size, per engine.
+"""Experiment F2 — routing setup time vs network size, per strategy.
 
 The abstract's "simpler self-routing algorithm" claim, measured two
-ways: the legacy per-object ``route_conference`` walk and the columnar
-bitset kernel behind ``route_batch``, over the same seeded conference
-batches.  Every timed cell first asserts byte-identity of the two
-engines' outputs (``repr`` for ``repr``) — the speedup is only worth
-reporting because the results are indistinguishable.
+ways: a sequential per-object ``route_conference`` loop and the
+columnar bitset kernel behind ``route_batch``, over the same seeded
+conference batches.  Every timed cell first asserts byte-identity of
+the two strategies' outputs (``repr`` for ``repr``) — the speedup is
+only worth reporting because the results are indistinguishable.
 
 Per-cell and aggregate routes/sec land in
 ``benchmarks/results/f2_routing_time.*`` and the repo-root
 ``BENCH_f2.json`` so the headline claim (the batch kernel routes the
-whole F2 sweep >= 10x faster than the legacy path) is auditable.  The
-in-test acceptance bound is deliberately looser (shared CI machines
-jitter); the checked-in artifact records the measured ratio.
+whole F2 sweep >= 10x faster than the sequential loop) is auditable.
+The in-test acceptance bound is deliberately looser (shared CI
+machines jitter); the checked-in artifact records the measured ratio.
 
 Run directly (``python benchmarks/bench_f2_routing_time.py``) or via
 pytest.
@@ -25,8 +25,9 @@ from pathlib import Path
 import pytest
 from _common import emit
 
-from repro.core.batch import route_batch
+from repro.core.batch import BatchRouteOutcome, route_batch
 from repro.core.conference import Conference
+from repro.core.routing import route_conference
 from repro.topology.builders import PAPER_TOPOLOGIES, build
 from repro.util.rng import ensure_rng
 
@@ -50,25 +51,42 @@ def sample_conferences(n_ports, count, seed=SEED):
     return confs
 
 
+def route_sequential(net, confs):
+    """The pre-batch baseline: one ``route_conference`` call per object."""
+    outcomes = []
+    for conf in confs:
+        try:
+            outcomes.append(BatchRouteOutcome(conf, route_conference(net, conf), None))
+        except ValueError as exc:
+            outcomes.append(BatchRouteOutcome(conf, None, exc))
+    return outcomes
+
+
 def _cells():
     for name in sorted(PAPER_TOPOLOGIES):
         for n_ports in SIZES:
             yield name, n_ports
 
 
-def _time_engine(net, confs, engine, reps):
+STRATEGIES = {
+    "sequential": route_sequential,
+    "bitset": route_batch,
+}
+
+
+def _time_strategy(net, confs, strategy, reps):
     best = float("inf")
     outcomes = None
     for _ in range(reps):
         t0 = time.perf_counter()
-        outcomes = route_batch(net, confs, engine=engine)
+        outcomes = STRATEGIES[strategy](net, confs)
         best = min(best, time.perf_counter() - t0)
     return best, outcomes
 
 
 def build_rows():
     rows = []
-    total = {"legacy": 0.0, "bitset": 0.0}
+    total = {"sequential": 0.0, "bitset": 0.0}
     for name, n_ports in _cells():
         net = build(name, n_ports)
         confs = sample_conferences(n_ports, BATCH)
@@ -77,11 +95,13 @@ def build_rows():
         reps = 3 if n_ports <= 256 else 2
         wall = {}
         results = {}
-        for engine in ("legacy", "bitset"):
-            wall[engine], results[engine] = _time_engine(net, confs, engine, reps)
-            total[engine] += wall[engine]
+        for strategy in ("sequential", "bitset"):
+            wall[strategy], results[strategy] = _time_strategy(
+                net, confs, strategy, reps
+            )
+            total[strategy] += wall[strategy]
         # Identity first, speed second: a fast wrong kernel is worthless.
-        for got, want in zip(results["bitset"], results["legacy"]):
+        for got, want in zip(results["bitset"], results["sequential"]):
             assert got.ok == want.ok
             if got.ok:
                 assert repr(got.route) == repr(want.route)
@@ -92,10 +112,10 @@ def build_rows():
                 "topology": name,
                 "N": n_ports,
                 "batch": BATCH,
-                "legacy_us_per_conf": round(wall["legacy"] / BATCH * 1e6, 2),
+                "sequential_us_per_conf": round(wall["sequential"] / BATCH * 1e6, 2),
                 "bitset_us_per_conf": round(wall["bitset"] / BATCH * 1e6, 2),
                 "bitset_routes_per_s": round(BATCH / wall["bitset"]),
-                "speedup": round(wall["legacy"] / wall["bitset"], 2),
+                "speedup": round(wall["sequential"] / wall["bitset"], 2),
             }
         )
     return rows, total
@@ -103,11 +123,11 @@ def build_rows():
 
 def write_artifacts():
     rows, total = build_rows()
-    aggregate = total["legacy"] / total["bitset"]
+    aggregate = total["sequential"] / total["bitset"]
     emit(
         "f2_routing_time",
         rows,
-        title=f"F2: routing time per conference, legacy vs bitset kernel "
+        title=f"F2: routing time per conference, sequential loop vs bitset kernel "
         f"(batches of {BATCH}; aggregate speedup {aggregate:.1f}x)",
     )
     payload = {
@@ -120,7 +140,7 @@ def write_artifacts():
         },
         "cells": rows,
         "wall_seconds": {
-            "legacy": total["legacy"],
+            "sequential": total["sequential"],
             "bitset": total["bitset"],
         },
         "aggregate_speedup": aggregate,
@@ -128,27 +148,27 @@ def write_artifacts():
         "meets_target": aggregate >= SPEEDUP_TARGET,
         "byte_identical": True,
         "note": (
-            "aggregate = total legacy wall over total bitset wall for the "
-            "whole sweep; byte-identity of every cell's outcomes is "
+            "aggregate = total sequential wall over total bitset wall for "
+            "the whole sweep; byte-identity of every cell's outcomes is "
             "asserted before timing counts"
         ),
     }
     BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     assert aggregate >= SPEEDUP_FLOOR, (
-        f"bitset kernel only {aggregate:.1f}x over legacy — below the "
-        f"{SPEEDUP_FLOOR}x floor (target {SPEEDUP_TARGET}x)"
+        f"bitset kernel only {aggregate:.1f}x over the sequential loop — "
+        f"below the {SPEEDUP_FLOOR}x floor (target {SPEEDUP_TARGET}x)"
     )
     return payload
 
 
 @pytest.mark.parametrize("n_ports", SIZES)
-@pytest.mark.parametrize("engine", ["legacy", "bitset"])
-def test_f2_routing_time(benchmark, engine, n_ports):
+@pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+def test_f2_routing_time(benchmark, strategy, n_ports):
     net = build("indirect-binary-cube", n_ports)
     confs = sample_conferences(n_ports, 32)
     net.successor_table
     net.predecessor_table
-    benchmark(lambda: route_batch(net, confs, engine=engine))
+    benchmark(lambda: STRATEGIES[strategy](net, confs))
 
 
 def test_f2_summary_table(benchmark):
@@ -157,7 +177,10 @@ def test_f2_summary_table(benchmark):
     payload = write_artifacts()
     # Cost is driven by route volume, not port count: per-conference
     # time from N=16 to N=1024 grows far slower than the 64x port ratio.
-    by = {(r["topology"], r["N"]): r["legacy_us_per_conf"] for r in payload["cells"]}
+    by = {
+        (r["topology"], r["N"]): r["sequential_us_per_conf"]
+        for r in payload["cells"]
+    }
     for name in PAPER_TOPOLOGIES:
         assert by[(name, 1024)] / by[(name, 16)] < 64
 

@@ -117,15 +117,13 @@ def exhaustive_max_multiplicity(
     net: MultistageNetwork,
     policy: "RoutingPolicy | None" = None,
     max_conferences: "int | None" = None,
-    engine: str = "bitset",
 ) -> SearchResult:
     """Ground-truth worst case by full enumeration (use only for N <= 8).
 
     Routes every family of disjoint conferences (all sizes >= 2) and
     returns the maximum link multiplicity with a witness.  Routing runs
-    through the columnar kernel one family at a time
-    (``engine="legacy"`` keeps the per-object oracle); results are
-    byte-identical either way.
+    through the columnar kernel one family at a time, byte-identical to
+    the per-object walk it replaced.
     """
     policy = policy or RoutingPolicy()
     best = SearchResult(0, None, None, 0, True)
@@ -135,12 +133,11 @@ def exhaustive_max_multiplicity(
         explored += 1
         if len(cs) < 2:
             continue
-        if engine == "bitset":
-            missing = [conf for conf in cs if conf.members not in route_cache]
-            if missing:
-                outcomes = route_batch(net, missing, policy, engine=engine)
-                for conf, outcome in zip(missing, outcomes):
-                    route_cache[conf.members] = outcome.unwrap().links
+        missing = [conf for conf in cs if conf.members not in route_cache]
+        if missing:
+            outcomes = route_batch(net, missing, policy)
+            for conf, outcome in zip(missing, outcomes):
+                route_cache[conf.members] = outcome.unwrap().links
         loads: Counter = Counter()
         for conf in cs:
             links = route_cache.get(conf.members)
@@ -156,7 +153,7 @@ def exhaustive_max_multiplicity(
 
 
 def _pair_link_graph(
-    net: MultistageNetwork, policy: RoutingPolicy, engine: str = "bitset"
+    net: MultistageNetwork, policy: RoutingPolicy
 ) -> dict[Point, list[tuple[int, int]]]:
     """For every link, the list of port pairs whose route uses it.
 
@@ -166,21 +163,13 @@ def _pair_link_graph(
     """
     by_link: dict[Point, list[tuple[int, int]]] = {}
     pairs = [(a, b) for a in range(net.n_ports) for b in range(a + 1, net.n_ports)]
-    if engine == "bitset":
-        chunk = 4096  # bounds resident Route objects, not correctness
-        for lo in range(0, len(pairs), chunk):
-            part = pairs[lo : lo + chunk]
-            outcomes = route_batch(
-                net, [Conference.of(p) for p in part], policy, engine=engine
-            )
-            for pair, outcome in zip(part, outcomes):
-                for link in outcome.unwrap().links:
-                    by_link.setdefault(link, []).append(pair)
-        return by_link
-    for a, b in pairs:
-        route = route_conference(net, Conference.of((a, b)), policy)
-        for link in route.links:
-            by_link.setdefault(link, []).append((a, b))
+    chunk = 4096  # bounds resident Route objects, not correctness
+    for lo in range(0, len(pairs), chunk):
+        part = pairs[lo : lo + chunk]
+        outcomes = route_batch(net, [Conference.of(p) for p in part], policy)
+        for pair, outcome in zip(part, outcomes):
+            for link in outcome.unwrap().links:
+                by_link.setdefault(link, []).append(pair)
     return by_link
 
 
@@ -188,7 +177,6 @@ def _pair_link_graph(
 def matching_lower_bound(
     net: MultistageNetwork,
     policy: "RoutingPolicy | None" = None,
-    engine: str = "bitset",
 ) -> SearchResult:
     """Exact worst case over 2-member conferences, any ``N``.
 
@@ -199,7 +187,7 @@ def matching_lower_bound(
     bound (and exhaustive search at small N) shows to be tight.
     """
     policy = policy or RoutingPolicy()
-    by_link = _pair_link_graph(net, policy, engine=engine)
+    by_link = _pair_link_graph(net, policy)
     best_mult, best_link, best_pairs = 0, None, []
     for link, pairs in by_link.items():
         if len(pairs) <= best_mult:
@@ -219,7 +207,6 @@ def matching_lower_bound(
 def matching_stage_profile(
     net: MultistageNetwork,
     policy: "RoutingPolicy | None" = None,
-    engine: str = "bitset",
 ) -> tuple[int, ...]:
     """Exact per-level worst case over 2-member conferences.
 
@@ -228,7 +215,7 @@ def matching_stage_profile(
     ``repro.analysis.theory.stage_profile_law``.
     """
     policy = policy or RoutingPolicy()
-    by_link = _pair_link_graph(net, policy, engine=engine)
+    by_link = _pair_link_graph(net, policy)
     profile = [0] * net.n_stages
     for link, pairs in by_link.items():
         level = link[0]
@@ -250,7 +237,6 @@ def randomized_search(
     seed: "int | np.random.Generator | None" = None,
     workers: "int | None" = None,
     chunk_size: "int | None" = None,
-    engine: str = "bitset",
 ) -> SearchResult:
     """Stochastic hill climbing for a high-multiplicity conference set.
 
@@ -264,7 +250,7 @@ def randomized_search(
     (:func:`repro.parallel.experiments.randomized_search_parallel`):
     trials draw from per-trial seed streams, so the result is identical
     for every worker count and chunking — but it is a *different*
-    (equally valid) sample than the legacy single-stream walk, which
+    (equally valid) sample than the original single-stream walk, which
     stays the default for backward reproducibility.  The sharded path
     requires ``seed`` to be an integer (or ``None``) and ``net`` to be
     a registry topology.
@@ -284,7 +270,6 @@ def randomized_search(
             seed=seed,
             workers=workers,
             chunk_size=chunk_size,
-            engine=engine,
         )
     from repro.parallel.cache import RouteCache
 
@@ -300,11 +285,10 @@ def randomized_search(
             (int(ports[2 * i]), int(ports[2 * i + 1]))
             for i in range(min(pool_size, n // 2))
         ]
-        if engine == "bitset":
-            # One columnar pass resolves the seed matching; the lookups
-            # below then hit.  Decisions are untouched (primed routes are
-            # byte-identical), only the routing work is batched.
-            cache.prime(pairs, engine=engine)
+        # One columnar pass resolves the seed matching; the lookups
+        # below then hit.  Decisions are untouched (primed routes are
+        # byte-identical), only the routing work is batched.
+        cache.prime(pairs)
         loads: Counter = Counter()
         links_of: dict[tuple[int, int], frozenset[Point]] = {}
         for pair in pairs:
@@ -327,7 +311,7 @@ def randomized_search(
                 a, b = free[i], free[j]
                 if a in used or b in used:
                     continue
-                if engine == "bitset" and j >= primed_until:
+                if j >= primed_until:
                     # Prime the next block of candidate pairs lazily: a
                     # hit poisons the rest of this scan (``a`` becomes
                     # used), so batching far ahead would route pairs the
@@ -339,7 +323,7 @@ def randomized_search(
                             block.append((min(a, free[k]), max(a, free[k])))
                         k += 1
                     primed_until = k
-                    cache.prime(block, engine=engine)
+                    cache.prime(block)
                 pair = (min(a, b), max(a, b))
                 if target in cache.route(Conference.of(pair)).links:
                     keep.append(pair)

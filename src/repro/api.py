@@ -51,7 +51,16 @@ from repro.core.routing import (
     UnroutableError,
     route_conference,
 )
+from repro.obs.export import ExpositionServer
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    BurnWindow,
+    SLOEvaluator,
+    SLOSpec,
+    WindowedHistogram,
+    default_serve_slos,
+)
 from repro.obs.trace import Tracer
 from repro.parallel.cache import RouteCache
 from repro.protect.plans import BackupPlan, BackupPlanStore, PlanStats
@@ -73,7 +82,7 @@ from repro.topology.network import MultistageNetwork
 
 #: Version of the public surface (bumped on any additive change; the
 #: library version tracks releases, this tracks the API contract).
-API_VERSION = "1.4"
+API_VERSION = "1.5"
 
 
 @runtime_checkable
@@ -175,4 +184,12 @@ __all__ = [
     # observability
     "Tracer",
     "MetricsRegistry",
+    # live health (SLOs, flight recording, exposition)
+    "SLOSpec",
+    "SLOEvaluator",
+    "BurnWindow",
+    "WindowedHistogram",
+    "default_serve_slos",
+    "FlightRecorder",
+    "ExpositionServer",
 ]

@@ -18,13 +18,19 @@ quick interactive inspection of networks and conference routings::
     conference-net bench-serve --ports 64 --conferences 500 --faults
     conference-net cluster --ports 16 --shards 4 --kill-at 10 --add-at 30
     conference-net bench-cluster --ports 16 --shards 4 --invariant-json inv.json
+    conference-net slo --ports 32 --faults --json slo.json
 
 Observability: ``availability``, ``faults``, and ``sweep`` accept
 ``--trace-out``/``--metrics-out`` to export a JSONL event trace and a
 Prometheus (or JSON) metrics dump alongside their normal output; the
 ``trace`` subcommand runs a live fault-injection scenario purely to
-produce those artifacts.  Telemetry is pure observation — results are
-byte-identical with and without the flags.
+produce those artifacts.  The long-running commands (``serve``,
+``bench-serve``, ``cluster``, ``bench-cluster``, ``slo``) additionally
+take ``--slo-out`` (per-tick SLO evaluation with burn-rate alerts),
+``--flight-out`` (flight-recorder incident bundles), and ``--listen``
+(a live ``/metrics`` / ``/healthz`` / ``/slo`` HTTP endpoint).
+Telemetry is pure observation — results are byte-identical with and
+without the flags.
 """
 
 from __future__ import annotations
@@ -95,8 +101,13 @@ def _add_telemetry_flags(cmd: argparse.ArgumentParser) -> None:
 
 
 def _telemetry(args: argparse.Namespace) -> "tuple[Tracer | None, MetricsRegistry | None]":
-    tracer = Tracer() if getattr(args, "trace_out", None) else None
-    registry = MetricsRegistry() if getattr(args, "metrics_out", None) else None
+    # The flight recorder rides the tracer's tap, and the exposition
+    # endpoint needs a registry to scrape — both imply the collector
+    # even when no --trace-out/--metrics-out file was asked for.
+    wants_trace = getattr(args, "trace_out", None) or getattr(args, "flight_out", None)
+    wants_metrics = getattr(args, "metrics_out", None) or getattr(args, "listen", None)
+    tracer = Tracer() if wants_trace else None
+    registry = MetricsRegistry() if wants_metrics else None
     return tracer, registry
 
 
@@ -105,13 +116,104 @@ def _write_telemetry(
     tracer: "Tracer | None",
     registry: "MetricsRegistry | None",
 ) -> None:
-    if tracer is not None:
+    if tracer is not None and getattr(args, "trace_out", None):
         n = tracer.write_jsonl(args.trace_out)
         suffix = " (ring buffer truncated)" if tracer.truncated else ""
         print(f"trace: {n} records -> {args.trace_out}{suffix}")
-    if registry is not None:
+    if registry is not None and getattr(args, "metrics_out", None):
         registry.write(args.metrics_out)
         print(f"metrics: {len(registry)} families -> {args.metrics_out}")
+
+
+def _add_live_obs_flags(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--slo-out",
+        metavar="PATH",
+        help="evaluate the default SLO set every tick and write the final "
+        "/slo status document (JSON) here",
+    )
+    cmd.add_argument(
+        "--flight-out",
+        metavar="DIR",
+        help="arm the flight recorder: recent spans/events/metric deltas "
+        "ring in memory and dump as a JSONL incident bundle into DIR on an "
+        "SLO page or a link fault",
+    )
+    cmd.add_argument(
+        "--listen",
+        metavar="[HOST]:PORT",
+        help="serve /metrics, /healthz and /slo over HTTP for the duration "
+        "of the run (':0' picks a free port)",
+    )
+    cmd.add_argument(
+        "--listen-linger",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="keep the exposition endpoint up this long after the run "
+        "settles (for scrapes of the final state)",
+    )
+
+
+def _live_obs(args: argparse.Namespace, tracer: "Tracer | None"):
+    """Build the (slo, flight) pair the live-health flags ask for.
+
+    Observation only: both stay ``None`` unless requested, and the
+    service layers gate every touch point on that — results are
+    byte-identical with and without the flags.
+    """
+    slo = flight = None
+    if (
+        getattr(args, "slo_out", None)
+        or getattr(args, "listen", None)
+        or getattr(args, "flight_out", None)
+    ):
+        from repro.obs import SLOEvaluator
+
+        slo = SLOEvaluator()
+    if getattr(args, "flight_out", None):
+        from repro.obs import FlightRecorder
+
+        flight = FlightRecorder(out_dir=args.flight_out)
+        if tracer is not None:
+            flight.watch(tracer)
+        if slo is not None:
+            flight.attach_slo(slo)
+    return slo, flight
+
+
+def _exposition(args: argparse.Namespace, registry, slo):
+    """Start the scrape endpoint when ``--listen`` asks for one."""
+    spec = getattr(args, "listen", None)
+    if not spec:
+        return None
+    from repro.obs import ExpositionServer
+
+    host, _, port = str(spec).rpartition(":")
+    server = ExpositionServer(
+        metrics=registry, slo=slo, host=host or "127.0.0.1", port=int(port or 0)
+    ).start()
+    print(f"exposition: {server.url} (/metrics /healthz /slo)")
+    return server
+
+
+def _finish_live_obs(args: argparse.Namespace, slo, flight, server) -> None:
+    import time as _time
+
+    if slo is not None and getattr(args, "slo_out", None):
+        slo.write(args.slo_out)
+        print(f"slo: state {slo.state} -> {args.slo_out}")
+    if flight is not None:
+        print(
+            f"flight: {flight.dumped} incident bundle(s) -> {args.flight_out} "
+            f"({flight.seen} records seen, {flight.suppressed} dumps debounced)"
+        )
+    if server is not None:
+        linger = getattr(args, "listen_linger", 0.0) or 0.0
+        if linger > 0:
+            print(f"exposition: lingering {linger:g}s at {server.url}")
+            _time.sleep(linger)
+        server.stop()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -293,16 +395,9 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(p.value for p in ShedPolicy),
     )
     serve.add_argument("--max-batch", type=int, default=64)
-    serve.add_argument(
-        "--batch-engine",
-        default="bitset",
-        choices=("bitset", "legacy"),
-        help="routing kernel for batched admission priming (results are "
-        "byte-identical either way; legacy stays for one release as the "
-        "differential oracle)",
-    )
     serve.add_argument("--json", metavar="PATH", help="write every response as JSON (shared result schema)")
     _add_telemetry_flags(serve)
+    _add_live_obs_flags(serve)
 
     bench_serve = sub.add_parser(
         "bench-serve",
@@ -339,16 +434,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench_serve.add_argument(
         "--route-cache", action="store_true", help="memoize routing through a RouteCache"
     )
-    bench_serve.add_argument(
-        "--batch-engine",
-        default="bitset",
-        choices=("bitset", "legacy"),
-        help="routing kernel for batched admission priming (results are "
-        "byte-identical either way; legacy stays for one release as the "
-        "differential oracle)",
-    )
     bench_serve.add_argument("--json", metavar="PATH", help="write the report as JSON (shared result schema)")
     _add_telemetry_flags(bench_serve)
+    _add_live_obs_flags(bench_serve)
 
     cluster = sub.add_parser(
         "cluster",
@@ -383,16 +471,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="backup plans per conference on every shard (0 = reactive)",
     )
     cluster.add_argument("--migration-budget", type=int, default=8, help="moves started per tick")
-    cluster.add_argument(
-        "--batch-engine",
-        default="bitset",
-        choices=("bitset", "legacy"),
-        help="routing kernel for batched admission priming (results are "
-        "byte-identical either way; legacy stays for one release as the "
-        "differential oracle)",
-    )
     cluster.add_argument("--json", metavar="PATH", help="write the report as JSON (shared result schema)")
     _add_telemetry_flags(cluster)
+    _add_live_obs_flags(cluster)
 
     bench_cluster = sub.add_parser(
         "bench-cluster",
@@ -424,14 +505,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="backup plans per conference on every shard (0 = reactive)",
     )
     bench_cluster.add_argument("--migration-budget", type=int, default=8, help="moves started per tick")
-    bench_cluster.add_argument(
-        "--batch-engine",
-        default="bitset",
-        choices=("bitset", "legacy"),
-        help="routing kernel for batched admission priming (results are "
-        "byte-identical either way; legacy stays for one release as the "
-        "differential oracle)",
-    )
     bench_cluster.add_argument("--json", metavar="PATH", help="write the full report as JSON (shared result schema)")
     bench_cluster.add_argument(
         "--invariant-json",
@@ -440,6 +513,38 @@ def build_parser() -> argparse.ArgumentParser:
         "for a fixed seed across shard counts; the determinism CI job cmp's these)",
     )
     _add_telemetry_flags(bench_cluster)
+    _add_live_obs_flags(bench_cluster)
+
+    slo_cmd = sub.add_parser(
+        "slo",
+        help="run a seeded churn drill and report live SLO health "
+        "(burn rates, percentiles, incident bundles)",
+    )
+    slo_cmd.add_argument("--topology", default="indirect-binary-cube", choices=sorted(TOPOLOGY_BUILDERS))
+    slo_cmd.add_argument("--ports", type=int, default=32)
+    slo_cmd.add_argument("--dilation", type=int, default=4)
+    slo_cmd.add_argument("--conferences", type=int, default=200)
+    slo_cmd.add_argument("--seed", type=int, default=0)
+    slo_cmd.add_argument("--arrival-rate", type=float, default=4.0, help="mean conference opens per tick")
+    slo_cmd.add_argument("--mean-size", type=float, default=4.0, help="mean conference size (ports)")
+    slo_cmd.add_argument("--mean-hold", type=float, default=20.0, help="mean session lifetime (ticks)")
+    slo_cmd.add_argument("--resize-prob", type=float, default=0.2, help="per-tick chance of one join/leave")
+    slo_cmd.add_argument("--queue-capacity", type=int, default=256)
+    slo_cmd.add_argument("--retries", type=int, default=5, help="retry budget (0 disables retries)")
+    slo_cmd.add_argument(
+        "--protection", type=int, default=0, metavar="F",
+        help="backup plans per conference (0 = reactive reroute only)",
+    )
+    slo_cmd.add_argument(
+        "--faults",
+        action="store_true",
+        help="fire a seeded fault timeline underneath the workload",
+    )
+    slo_cmd.add_argument("--mttf", type=float, default=400.0, help="mean time to failure per link")
+    slo_cmd.add_argument("--mttr", type=float, default=5.0, help="mean time to repair per link")
+    slo_cmd.add_argument("--json", metavar="PATH", help="write the SLO report as JSON (shared result schema)")
+    _add_telemetry_flags(slo_cmd)
+    _add_live_obs_flags(slo_cmd)
     return parser
 
 
@@ -761,6 +866,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     net = ConferenceNetwork.build(args.topology, args.ports, dilation=args.dilation)
     tracer, registry = _telemetry(args)
+    slo, flight = _live_obs(args, tracer)
+    server = _exposition(args, registry, slo)
     retry = RetryPolicy(max_retries=args.retries) if args.retries > 0 else None
     service = FabricService(
         net,
@@ -769,10 +876,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         protection=args.protection,
         tracer=tracer,
         metrics=registry,
+        slo=slo,
+        flight=flight,
         queue_capacity=args.queue_capacity,
         shed_policy=args.shed_policy,
         max_batch=args.max_batch,
-        batch_engine=args.batch_engine,
     )
     workload = uniform_partition(args.ports, load=args.load, seed=args.seed)
 
@@ -829,6 +937,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         })
         print(f"responses written to {args.json}")
     _write_telemetry(args, tracer, registry)
+    _finish_live_obs(args, slo, flight, server)
     return 0 if all(counts[s] == 0 for s in ("queued", "active", "degraded", "down")) else 1
 
 
@@ -838,6 +947,8 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
 
     net = ConferenceNetwork.build(args.topology, args.ports, dilation=args.dilation)
     tracer, registry = _telemetry(args)
+    slo, flight = _live_obs(args, tracer)
+    server = _exposition(args, registry, slo)
     retry = RetryPolicy(max_retries=args.retries) if args.retries > 0 else None
     cache = None
     if args.route_cache:
@@ -864,9 +975,10 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         fault_process=process,
         route_cache=cache,
         protection=args.protection,
-        batch_engine=args.batch_engine,
         tracer=tracer,
         metrics=registry,
+        slo=slo,
+        flight=flight,
     )
     svc = report.service
     rows = [
@@ -904,6 +1016,7 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         save_json(args.json, result_to_dict(report))
         print(f"report written to {args.json}")
     _write_telemetry(args, tracer, registry)
+    _finish_live_obs(args, slo, flight, server)
     return 0 if report.ok else 1
 
 
@@ -912,6 +1025,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     from repro.sim.faults import FaultProcessConfig
 
     tracer, registry = _telemetry(args)
+    slo, flight = _live_obs(args, tracer)
+    server = _exposition(args, registry, slo)
     retry = RetryPolicy(max_retries=args.retries) if args.retries > 0 else None
     process = (
         FaultProcessConfig(mean_time_to_failure=args.mttf, mean_time_to_repair=args.mttr)
@@ -933,9 +1048,10 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         kill_shard_at=args.kill_at if args.kill_at >= 0 else None,
         add_shard_at=args.add_at if args.add_at >= 0 else None,
         protection=args.protection,
-        batch_engine=args.batch_engine,
         tracer=tracer,
         metrics=registry,
+        slo=slo,
+        flight=flight,
     )
     shard_rows = [
         {
@@ -985,6 +1101,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         save_json(args.json, result_to_dict(report))
         print(f"report written to {args.json}")
     _write_telemetry(args, tracer, registry)
+    _finish_live_obs(args, slo, flight, server)
     return 0 if report.ok else 1
 
 
@@ -992,6 +1109,8 @@ def _cmd_bench_cluster(args: argparse.Namespace) -> int:
     from repro.cluster.bench import run_cluster_bench
 
     tracer, registry = _telemetry(args)
+    slo, flight = _live_obs(args, tracer)
+    server = _exposition(args, registry, slo)
     retry = RetryPolicy(max_retries=args.retries) if args.retries > 0 else None
     report = run_cluster_bench(
         topology=args.topology,
@@ -1010,9 +1129,10 @@ def _cmd_bench_cluster(args: argparse.Namespace) -> int:
         retry=retry,
         migration_budget=args.migration_budget,
         protection=args.protection,
-        batch_engine=args.batch_engine,
         tracer=tracer,
         metrics=registry,
+        slo=slo,
+        flight=flight,
     )
     cl = report.cluster
     rows = [
@@ -1047,7 +1167,75 @@ def _cmd_bench_cluster(args: argparse.Namespace) -> int:
         save_json(args.invariant_json, report.invariant())
         print(f"invariant metrics written to {args.invariant_json}")
     _write_telemetry(args, tracer, registry)
+    _finish_live_obs(args, slo, flight, server)
     return 0 if report.ok else 1
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    from repro.obs import SLOEvaluator
+    from repro.report.slo_report import build_slo_report, slo_rows
+    from repro.serve.bench import run_serve_bench
+    from repro.sim.faults import FaultProcessConfig
+
+    net = ConferenceNetwork.build(args.topology, args.ports, dilation=args.dilation)
+    tracer, registry = _telemetry(args)
+    # This command *is* the SLO engine, so the evaluator always exists;
+    # the shared flags can still add a flight recorder and an endpoint.
+    slo, flight = _live_obs(args, tracer)
+    if slo is None:
+        slo = SLOEvaluator()
+        if flight is not None:
+            flight.attach_slo(slo)
+    server = _exposition(args, registry, slo)
+    retry = RetryPolicy(max_retries=args.retries) if args.retries > 0 else None
+    process = (
+        FaultProcessConfig(mean_time_to_failure=args.mttf, mean_time_to_repair=args.mttr)
+        if args.faults
+        else None
+    )
+    report = run_serve_bench(
+        net,
+        conferences=args.conferences,
+        seed=args.seed,
+        arrival_rate=args.arrival_rate,
+        mean_size=args.mean_size,
+        mean_hold_ticks=args.mean_hold,
+        resize_prob=args.resize_prob,
+        queue_capacity=args.queue_capacity,
+        retry=retry,
+        fault_process=process,
+        protection=args.protection,
+        tracer=tracer,
+        metrics=registry,
+        slo=slo,
+        flight=flight,
+    )
+    print(render_table(
+        slo_rows(slo),
+        columns=["slo", "state", "objective", "burn", "breaches", "p50", "p95", "p99"],
+        title=f"SLO health ({args.topology}, N={args.ports}, seed={args.seed}, "
+        f"{report.ticks} ticks)",
+    ))
+    print(
+        f"\noverall state: {slo.state}; throughput "
+        f"{report.throughput:.3f} admits/tick, "
+        f"{report.fault_transitions} fault transitions, "
+        f"{report.lost_sessions} sessions lost"
+    )
+    if args.json:
+        save_json(args.json, build_slo_report(slo, context={
+            "topology": args.topology,
+            "ports": args.ports,
+            "seed": args.seed,
+            "conferences": report.conferences,
+            "ticks": report.ticks,
+            "throughput": report.throughput,
+            "fault_transitions": report.fault_transitions,
+        }))
+        print(f"slo report written to {args.json}")
+    _write_telemetry(args, tracer, registry)
+    _finish_live_obs(args, slo, flight, server)
+    return 0 if slo.state != "page" else 1
 
 
 _COMMANDS = {
@@ -1065,6 +1253,7 @@ _COMMANDS = {
     "bench-serve": _cmd_bench_serve,
     "cluster": _cmd_cluster,
     "bench-cluster": _cmd_bench_cluster,
+    "slo": _cmd_slo,
 }
 
 

@@ -45,7 +45,9 @@ from repro.util.validation import check_positive
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
     from repro.core.healing import RetryPolicy
+    from repro.obs.flight import FlightRecorder
     from repro.obs.metrics import MetricsRegistry
+    from repro.obs.slo import SLOEvaluator
     from repro.obs.trace import Tracer
     from repro.sim.faults import FaultProcessConfig
 
@@ -220,9 +222,10 @@ def run_cluster_bench(
     kill_shard_at: "int | None" = None,
     add_shard_at: "int | None" = None,
     protection: int = 0,
-    batch_engine: str = "bitset",
     tracer: "Tracer | None" = None,
     metrics: "MetricsRegistry | None" = None,
+    slo: "SLOEvaluator | None" = None,
+    flight: "FlightRecorder | None" = None,
     max_ticks: "int | None" = None,
 ) -> ClusterBenchReport:
     """Run a seeded churn workload against a fresh cluster.
@@ -263,9 +266,10 @@ def run_cluster_bench(
         retry=retry,
         rng=service_rng,
         protection=protection,
-        batch_engine=batch_engine,
         tracer=tracer,
         metrics=metrics,
+        slo=slo,
+        flight=flight,
         queue_capacity=queue_capacity,
         shed_policy=shed_policy,
         max_batch=max_batch,

@@ -36,6 +36,7 @@ instead.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import TYPE_CHECKING, Any, Callable
@@ -54,7 +55,9 @@ if TYPE_CHECKING:  # pragma: no cover - annotations only
 
     from repro.core.healing import RetryPolicy
     from repro.core.network import ConferenceNetwork
+    from repro.obs.flight import FlightRecorder
     from repro.obs.metrics import MetricsRegistry
+    from repro.obs.slo import SLOEvaluator
     from repro.obs.trace import Tracer
     from repro.parallel.cache import RouteCache
     from repro.serve.batcher import BatchReport
@@ -186,9 +189,10 @@ class ClusterService:
         rng: "int | np.random.Generator | None" = None,
         route_cache: "RouteCache | None" = None,
         protection: int = 0,
-        batch_engine: str = "bitset",
         tracer: "Tracer | None" = None,
         metrics: "MetricsRegistry | None" = None,
+        slo: "SLOEvaluator | None" = None,
+        flight: "FlightRecorder | None" = None,
         queue_capacity: int = 1024,
         shed_policy: "ShedPolicy | str" = ShedPolicy.REJECT_NEWEST,
         max_batch: int = 64,
@@ -201,9 +205,13 @@ class ClusterService:
         self._rng = ensure_rng(rng)
         self._route_cache = route_cache
         self._protection = protection
-        self._batch_engine = batch_engine
         self.tracer = tracer
         self._metrics = metrics
+        # Cluster-level live health (see repro.obs.slo / repro.obs.flight).
+        # Shards run without their own evaluator — client-visible signals
+        # are recorded here, at the layer clients actually experience.
+        self._slo = slo
+        self._flight = flight
         self._queue_capacity = queue_capacity
         self._shed_policy = shed_policy
         self._max_batch = max_batch
@@ -222,6 +230,12 @@ class ClusterService:
         self._inflight_ops: dict[int, tuple] = {}
         # Moves whose target open is in flight: csid -> (move, target).
         self._moving: dict[int, tuple[Move, str]] = {}
+        # Open ``cluster.open`` trace spans awaiting their verdict.
+        self._open_trace: dict[int, int] = {}
+        # SLO bookkeeping: per-shard recovery samples already observed,
+        # and the stat watermarks the per-tick shed-rate deltas read from.
+        self._slo_recovery_seen: dict[str, int] = {}
+        self._slo_prev = {"offered": 0, "dropped": 0}
         if shard_ids is None:
             shard_ids = [f"shard-{i}" for i in range(shards)]
         if not shard_ids:
@@ -267,9 +281,14 @@ class ClusterService:
         return self._protection
 
     @property
-    def batch_engine(self) -> str:
-        """Routing engine (``bitset``/``legacy``) of every shard fabric."""
-        return self._batch_engine
+    def slo(self) -> "SLOEvaluator | None":
+        """The attached cluster-level SLO evaluator, or ``None``."""
+        return self._slo
+
+    @property
+    def flight(self) -> "FlightRecorder | None":
+        """The attached flight recorder, or ``None``."""
+        return self._flight
 
     def active_weights(self) -> dict[str, float]:
         """Capacity weights of the currently placeable (ACTIVE) shards."""
@@ -320,7 +339,6 @@ class ClusterService:
             rng=shard_rng,
             route_cache=self._route_cache,
             protection=self._protection,
-            batch_engine=self._batch_engine,
             tracer=self.tracer,
             metrics=None,  # see module docstring: cluster owns the registry
             queue_capacity=self._queue_capacity,
@@ -382,31 +400,34 @@ class ClusterService:
                 continue
             del self._moving[csid]
             self._queue.requeue(move)
-        # Re-home every session the dead fabric hosted.
+        # Re-home every session the dead fabric hosted.  The failover
+        # moves are enqueued under this span's context so each per-move
+        # ``cluster.failover`` span carries it as causal parent.
         moved = 0
-        for entry in self._directory.on_shard(shard_id):
-            csid = entry.cluster_session_id
-            if entry.state is EntryState.PENDING:
-                # The open never completed; carry the client's verdict
-                # callback over to the failover move.
-                notify = self._pending_opens.pop(csid, None)
-                self._enqueue_move(
-                    entry, "failover", source=None, notify=notify, restore_open=True
-                )
-                moved += 1
-            elif entry.state is EntryState.ACTIVE:
-                self._enqueue_move(entry, "failover", source=None)
-                moved += 1
-            elif entry.state is EntryState.MIGRATING:
-                # The next generation is already building elsewhere; the
-                # old home just vanished, so there is nothing to close.
-                pending = next(
-                    (m for m in self._queue if m.cluster_session_id == csid), None
-                )
-                inflight = self._moving.get(csid)
-                move = pending or (inflight[0] if inflight else None)
-                if move is not None:
-                    move.source_shard = None
+        with self.tracer.context(span) if self.tracer is not None else nullcontext():
+            for entry in self._directory.on_shard(shard_id):
+                csid = entry.cluster_session_id
+                if entry.state is EntryState.PENDING:
+                    # The open never completed; carry the client's verdict
+                    # callback over to the failover move.
+                    notify = self._pending_opens.pop(csid, None)
+                    self._enqueue_move(
+                        entry, "failover", source=None, notify=notify, restore_open=True
+                    )
+                    moved += 1
+                elif entry.state is EntryState.ACTIVE:
+                    self._enqueue_move(entry, "failover", source=None)
+                    moved += 1
+                elif entry.state is EntryState.MIGRATING:
+                    # The next generation is already building elsewhere; the
+                    # old home just vanished, so there is nothing to close.
+                    pending = next(
+                        (m for m in self._queue if m.cluster_session_id == csid), None
+                    )
+                    inflight = self._moving.get(csid)
+                    move = pending or (inflight[0] if inflight else None)
+                    if move is not None:
+                        move.source_shard = None
         if span is not None:
             self.tracer.span_close(span, t=self.now, sessions=moved)
         return moved
@@ -503,8 +524,17 @@ class ClusterService:
                 on_complete,
             )
             return csid
+        span = None
+        if self.tracer is not None:
+            # The root of the causal chain: the shard-level submit/admit
+            # spans this open causes all parent back to this record.
+            span = self.tracer.span_open(
+                "cluster.open", t=self.now, session=csid, shard=target, members=len(members)
+            )
+            self._open_trace[csid] = span
         self._pending_opens[csid] = on_complete
-        self._open_on(target, entry)
+        with self.tracer.context(span) if self.tracer is not None else nullcontext():
+            self._open_on(target, entry)
         return csid
 
     def submit_join(
@@ -643,6 +673,7 @@ class ClusterService:
                 self._finish_move_span(queued, "cancelled")
         if csid in self._pending_opens:
             # The open verdict was going to come from a cancelled move.
+            self._close_open_trace(csid, "cancelled")
             notify = self._pending_opens.pop(csid)
             self._deliver(
                 self._synthesize(
@@ -711,6 +742,7 @@ class ClusterService:
                     self._enqueue_move(entry, "drain", source=shard_id)
             else:
                 entry.state = EntryState.REJECTED
+        self._close_open_trace(csid, resp.status)
         notify = self._pending_opens.pop(csid, None)
         self._deliver(self._translate(resp, csid, shard_id, op), notify)
 
@@ -742,6 +774,16 @@ class ClusterService:
         self, response: ServiceResponse, notify: "CompletionCallback | None"
     ) -> None:
         self.stats.record(response)
+        if (
+            self._slo is not None
+            and response.kind == RequestKind.OPEN
+            and response.status == "admitted"
+            and "admission_latency" in self._slo
+        ):
+            # Client-visible admission latency: the same quantity
+            # ClusterStats folds into mean/max, streamed into the
+            # windowed histogram for live percentiles.
+            self._slo.observe("admission_latency", response.latency, now=self.now)
         if self._metrics is not None:
             self._metrics.counter(
                 "repro_cluster_requests_total",
@@ -852,9 +894,12 @@ class ClusterService:
 
         # Migration opens ride the interactive lane: a session that is
         # already admitted (or owed a restore) outranks fresh arrivals.
-        self._shards[target].service.submit_open(
-            entry.members, priority=Priority.INTERACTIVE, on_complete=adapter
-        )
+        # Submitting under the move span's context parents the target
+        # shard's admission spans to this failover/migration.
+        with self.tracer.context(move.span) if self.tracer is not None else nullcontext():
+            self._shards[target].service.submit_open(
+                entry.members, priority=Priority.INTERACTIVE, on_complete=adapter
+            )
 
     def _move_completed(self, move: Move, target: str, resp: ServiceResponse) -> None:
         csid = move.cluster_session_id
@@ -890,6 +935,7 @@ class ClusterService:
                 self._internal_close(move.source_shard, old_sid, csid)
         if move.restore_open:
             # The client's original open verdict, finally deliverable.
+            self._close_open_trace(csid, resp.status)
             self._deliver(self._translate(resp, csid, target, self._next_op()), move.notify)
         elif move.notify is not None:
             move.notify(self._translate(resp, csid, target, self._next_op()))
@@ -907,6 +953,11 @@ class ClusterService:
         if move.span is not None and self.tracer is not None:
             self.tracer.span_close(move.span, t=self.now, outcome=outcome, **attrs)
         move.span = None
+
+    def _close_open_trace(self, csid: int, outcome: str) -> None:
+        span = self._open_trace.pop(csid, None)
+        if span is not None and self.tracer is not None:
+            self.tracer.span_close(span, t=self.now, outcome=outcome)
 
     # -- the tick ----------------------------------------------------------
 
@@ -937,6 +988,8 @@ class ClusterService:
                     self.tracer.event("cluster.shard_removed", t=self.now, shard=shard_id)
         self.stats.ticks += 1
         self._observe()
+        if self._slo is not None:
+            self._slo_tick()
         return reports
 
     def _shard_quiescent(self, shard: ShardInfo) -> bool:
@@ -969,6 +1022,53 @@ class ClusterService:
             "repro_cluster_migration_backlog",
             "Moves queued or in flight at tick end",
         ).set(self._queue.depth + len(self._moving))
+
+    def _slo_tick(self) -> None:
+        """Feed this tick's cluster-wide health signals into the SLO engine.
+
+        Mirrors :meth:`FabricService._slo_tick` one layer up: session
+        availability and recovery times are summed across the live
+        shards; the shed rate reads the *client-visible* verdict deltas
+        (rejected + errors), so internal migration traffic never counts
+        against the budget.  Pure observation — nothing feeds back.
+        """
+        slo, now = self._slo, self.now
+        if "availability" in slo:
+            live = down = 0
+            for shard_id in sorted(self._shards):
+                shard = self._shards[shard_id]
+                if shard.state not in LIVE_SHARD_STATES:
+                    continue
+                counts = shard.service.sessions.counts()
+                live += counts.get("active", 0) + counts.get("degraded", 0)
+                down += counts.get("down", 0)
+            if live or down:
+                slo.record("availability", good=live, bad=down, now=now)
+        if "recovery" in slo:
+            for shard_id in sorted(self._shards):
+                samples = self._shards[shard_id].service.healing.stats.recovery_samples
+                seen = self._slo_recovery_seen.get(shard_id, 0)
+                for ticks in samples[seen:]:
+                    slo.observe("recovery", ticks, now=now)
+                self._slo_recovery_seen[shard_id] = len(samples)
+        if "shed_rate" in slo:
+            offered = self.stats.offered
+            dropped = self.stats.rejected + self.stats.errors
+            d_offered = offered - self._slo_prev["offered"]
+            d_dropped = dropped - self._slo_prev["dropped"]
+            if d_offered:
+                slo.record(
+                    "shed_rate",
+                    good=max(0, d_offered - d_dropped),
+                    bad=d_dropped,
+                    now=now,
+                )
+            self._slo_prev.update(offered=offered, dropped=dropped)
+        status = slo.evaluate(now)
+        if self._flight is not None:
+            if self._metrics is not None:
+                self._flight.sample_metrics(self._metrics, now)
+            self._flight.note_slo(now, status)
 
     # -- drain / shutdown --------------------------------------------------
 

@@ -257,14 +257,11 @@ class AdmissionController:
     def try_join_batch(
         self,
         conferences: "Iterable[Conference | Iterable[int]]",
-        *,
-        engine: str = "bitset",
     ) -> list[BatchAdmissionOutcome]:
         """Admit a batch: one columnar routing pass, sequential verdicts.
 
         The whole batch is routed up front by
-        :func:`~repro.core.batch.route_batch` (``engine="legacy"``
-        selects the per-object oracle), then the admission state machine
+        :func:`~repro.core.batch.route_batch`, then the admission state machine
         replays in order — duplicate-id check, port-clash check, then
         :meth:`admit_route` — against the ledger as it stood when each
         conference's turn came.  Every verdict, including denial reasons
@@ -275,9 +272,7 @@ class AdmissionController:
         confs = [
             c if isinstance(c, Conference) else Conference.of(c) for c in conferences
         ]
-        routed = route_batch(
-            self._network.topology, confs, self._network.policy, engine=engine
-        )
+        routed = route_batch(self._network.topology, confs, self._network.policy)
         outcomes: list[BatchAdmissionOutcome] = []
         for conference, attempt in zip(confs, routed):
             try:

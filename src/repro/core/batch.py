@@ -10,7 +10,7 @@ stage-wide MIN evaluation: the routing state is a stack of
 propagation loop, and tap selection / backward marking reduce to array
 comparisons.
 
-The contract is **byte-identity** with the legacy core, not mere
+The contract is **byte-identity** with the sequential core, not mere
 equality: the produced :class:`~repro.core.routing.Route` objects build
 their ``levels`` and ``taps`` dicts in the *same insertion order* the
 sequential algorithm uses, so ``repr``, JSON serialization, frozenset
@@ -18,9 +18,10 @@ iteration of ``Route.links`` — and therefore every downstream
 order-sensitive decision (admission capacity messages, the worst-case
 search's ``max(loads.items())`` target pick) — are indistinguishable
 from the per-object path.  The differential grid in
-``tests/core/test_batch_differential.py`` holds the two engines side by
-side; ``engine="legacy"`` keeps the sequential oracle callable through
-the same entry point for one PR.
+``tests/core/test_batch_differential.py`` holds the kernel against
+:func:`~repro.core.routing.route_conference` (the per-object oracle the
+kernel replaced) across topologies, policies, fault sets and batch
+shapes.
 
 Two inputs fall back to the sequential path per conference, with
 identical outcomes: conferences of more than :data:`MAX_KERNEL_MEMBERS`
@@ -60,9 +61,6 @@ MAX_KERNEL_MEMBERS = 63
 #: larger batches are routed in chunks so memory stays flat.
 _MAX_CELLS = 1 << 18
 
-_ENGINES = ("bitset", "legacy")
-
-
 @dataclass(frozen=True)
 class BatchRouteOutcome:
     """One conference's result within a :func:`route_batch` call.
@@ -94,7 +92,6 @@ def route_batch(
     conferences: "Sequence[Conference] | Iterable[Conference]",
     policy: "RoutingPolicy | None" = None,
     faults: "frozenset | None" = None,
-    engine: str = "bitset",
 ) -> list[BatchRouteOutcome]:
     """Route every conference of a batch; order is preserved.
 
@@ -105,16 +102,11 @@ def route_batch(
     result.  Failures (``UnroutableError`` under faults, ``ValueError``
     for out-of-range members) are captured per conference instead of
     aborting the batch.
-
-    ``engine`` selects the columnar kernel (``"bitset"``, default) or
-    the sequential oracle (``"legacy"``); outputs are byte-identical.
     """
-    if engine not in _ENGINES:
-        raise ValueError(f"unknown batch engine {engine!r}; known: {', '.join(_ENGINES)}")
     policy = policy or RoutingPolicy()
     dead = frozenset(faults) if faults else frozenset()
     confs = list(conferences)
-    if engine == "legacy" or policy.prune:
+    if policy.prune:
         return [_route_one(net, conf, policy, dead) for conf in confs]
     outcomes: "list[BatchRouteOutcome | None]" = [None] * len(confs)
     kernel_idx: list[int] = []
@@ -214,7 +206,7 @@ def _kernel(
         member_ok = ok.any(axis=0)
         taps_of_member = ok.argmax(axis=0)
     routable = np.logical_and.reduceat(member_ok, offsets[:-1])
-    # First failing member per conference, in member order (the legacy
+    # First failing member per conference, in member order (the sequential
     # loop raises at exactly that member).
     first_bad = np.minimum.reduceat(
         np.where(member_ok, len(members), np.arange(len(members))), offsets[:-1]
@@ -249,7 +241,7 @@ def _kernel(
             prev[:, dead_rows[t - 1]] = 0
         marked[t - 1] |= prev
 
-    # Used region + legacy insertion order.  The sequential algorithm
+    # Used region + sequential insertion order.  The sequential algorithm
     # builds each level's dict by iterating the previous level's dict in
     # *its* order and the switch sides in table order; replaying that
     # first-touch order here makes the dicts byte-identical, not merely
@@ -272,7 +264,7 @@ def _kernel(
         confs_t, rows_t = keys_next // n_rows, keys_next % n_rows
         level_points.append((confs_t, rows_t, masks[t + 1][confs_t, rows_t]))
 
-    # Materialize Route objects (plain-int dicts, legacy field for field).
+    # Materialize Route objects (plain-int dicts, matching the sequential path field for field).
     # Whole-level ``tolist`` conversions up front: per-conference numpy
     # slicing would cost more than the kernel itself on small networks.
     per_level = [

@@ -75,33 +75,14 @@ def analyze_conflicts(routes: Sequence[Route], n_stages: "int | None" = None) ->
 
     ``n_stages`` defaults to the routes' own stage count; it must be
     given for an empty collection.
-    """
-    routes = list(routes)
-    if n_stages is None:
-        if not routes:
-            raise ValueError("n_stages is required for an empty route collection")
-        n_stages = routes[0].n_stages
-    for r in routes:
-        if r.n_stages != n_stages:
-            raise ValueError("routes come from networks with different stage counts")
 
-    loads = link_loads(routes)
-    profile = [0] * n_stages
-    worst: "Point | None" = None
-    worst_load = 0
-    for (level, row), load in loads.items():
-        stage_idx = level - 1
-        if load > profile[stage_idx]:
-            profile[stage_idx] = load
-        if load > worst_load or (load == worst_load and worst is not None and (level, row) < worst):
-            worst, worst_load = (level, row), load
-    histogram = Counter(loads.values())
-    return ConflictReport(
-        n_conferences=len(routes),
-        n_stages=n_stages,
-        max_multiplicity=worst_load,
-        worst_link=worst,
-        stage_profile=tuple(profile),
-        load_histogram=tuple(sorted(histogram.items())),
-        total_links_used=len(loads),
-    )
+    The accounting itself is the columnar stage-major load matrix of
+    :func:`repro.core.batch.analyze_conflicts_columnar` — this name is
+    the stable spelling, that one is the implementation (the original
+    Counter walk survives only as a reference oracle in the test
+    suite, which holds the two field-for-field equal, worst-link
+    tie-break included).
+    """
+    from repro.core.batch import analyze_conflicts_columnar
+
+    return analyze_conflicts_columnar(list(routes), n_stages=n_stages)

@@ -222,13 +222,10 @@ class SelfHealingController:
         route_cache: "RouteCache | None" = None,
         protection: int = 0,
         plan_store: "BackupPlanStore | None" = None,
-        batch_engine: str = "bitset",
         tracer: "Tracer | None" = None,
         metrics: "MetricsRegistry | None" = None,
         seed: "int | np.random.Generator | None" = None,
     ):
-        if batch_engine not in ("bitset", "legacy"):
-            raise ValueError(f"unknown batch engine {batch_engine!r}")
         if seed is not None:
             # Pre-1.1 name for the jitter stream; one consistent spelling
             # (``rng=``) now covers AdmissionController / SelfHealing /
@@ -276,7 +273,6 @@ class SelfHealingController:
         self._metrics = metrics
         self._drop_spans: dict[int, int] = {}  # cid -> open conference.drop span
         self._rng = ensure_rng(rng)
-        self._batch_engine = batch_engine
         # Routes precomputed by the columnar kernel for an imminent
         # sequential walk, keyed ``(members, fault set)`` and consumed
         # (popped) by ``_route`` — see ``prime_batch``.
@@ -320,11 +316,6 @@ class SelfHealingController:
     def plan_store(self) -> "BackupPlanStore | None":
         """The backup-plan store, or ``None`` when protection is off."""
         return self._plans
-
-    @property
-    def batch_engine(self) -> str:
-        """``"bitset"`` (columnar batch priming) or ``"legacy"``."""
-        return self._batch_engine
 
     @property
     def current_faults(self) -> frozenset[Point]:
@@ -392,10 +383,8 @@ class SelfHealingController:
         per-object path — only the work moves.  With
         ``include_healthy``, the fault-free reference routes that
         :meth:`try_join` also needs under a live fault set are primed
-        too.  A no-op when ``batch_engine="legacy"``.
+        too.
         """
-        if self._batch_engine != "bitset":
-            return
         confs = [
             c if isinstance(c, Conference) else Conference.of(c) for c in conferences
         ]
@@ -406,7 +395,7 @@ class SelfHealingController:
             fault_sets.append(frozenset())
         if self._cache is not None:
             for fs in fault_sets:
-                self._cache.prime(confs, faults=fs, engine=self._batch_engine)
+                self._cache.prime(confs, faults=fs)
             return
         self._primed.clear()  # entries are single-shot; drop leftovers
         for fs in fault_sets:
@@ -420,7 +409,6 @@ class SelfHealingController:
                 list(todo.values()),
                 self._network.policy,
                 faults=fs or None,
-                engine=self._batch_engine,
             )
             for key, outcome in zip(todo, outcomes):
                 if outcome.ok:

@@ -193,7 +193,6 @@ class ConferenceNetwork:
     def route_batch(
         self,
         conferences: "ConferenceSet | Iterable[Iterable[int]]",
-        engine: str = "bitset",
     ) -> tuple[Route, ...]:
         """Route a disjoint set in one columnar pass; order is preserved.
 
@@ -202,14 +201,10 @@ class ConferenceNetwork:
         conference's layered graph stage by stage with numpy columnar
         state, returning routes **byte-identical** to the sequential
         path, and raises the same error the first failing conference's
-        :meth:`route` call would have raised.  ``engine="legacy"``
-        selects the per-object oracle the differential suite compares
-        against.
+        :meth:`route` call would have raised.
         """
         conferences = self._coerce_set(conferences)
-        outcomes = _batch_route(
-            self._topology, list(conferences), self._policy, engine=engine
-        )
+        outcomes = _batch_route(self._topology, list(conferences), self._policy)
         return tuple(outcome.unwrap() for outcome in outcomes)
 
     def conflicts(self, routes: Sequence[Route]) -> ConflictReport:

@@ -1,0 +1,170 @@
+"""Live exposition: a stdlib-only HTTP endpoint for metrics and SLOs.
+
+:class:`ExpositionServer` runs a :class:`http.server.ThreadingHTTPServer`
+on a daemon thread and serves three read-only views of a running
+fabric:
+
+* ``GET /metrics`` — the registry's Prometheus text exposition
+  (``text/plain; version=0.0.4``), identical bytes to
+  :meth:`MetricsRegistry.render_prometheus`.
+* ``GET /healthz`` — a small JSON liveness document.  HTTP 200 while
+  the SLO state is ``ok``/``warn``; 503 when an objective is paging,
+  so load balancers can rotate a paging instance out.
+* ``GET /slo`` — the evaluator's last evaluation as JSON (the same
+  document :meth:`SLOEvaluator.to_json` writes).
+
+The server is pure observer: it renders on demand in its own thread
+and never writes into the fabric.  Renders race benignly with the
+simulation thread mutating the registry — a concurrent-mutation
+``RuntimeError`` is retried a few times, which is safe because both
+sides only ever *add* series.  Bind ``port=0`` to let the OS pick a
+free port (``server.port`` reports the real one) — the default in
+tests and benches so parallel runs never collide.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.slo import SLOEvaluator
+
+__all__ = ["ExpositionServer"]
+
+#: Prometheus text exposition format version we emit.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class ExpositionServer:
+    """Serves ``/metrics``, ``/healthz`` and ``/slo`` for a live fabric."""
+
+    def __init__(
+        self,
+        *,
+        metrics: "MetricsRegistry | None" = None,
+        slo: "SLOEvaluator | None" = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self._metrics = metrics
+        self._slo = slo
+        self._host = host
+        self._port = int(port)
+        self._httpd: "ThreadingHTTPServer | None" = None
+        self._thread: "threading.Thread | None" = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ExpositionServer":
+        """Bind and start serving on a daemon thread; returns ``self``."""
+        if self._httpd is not None:
+            raise RuntimeError("exposition server already started")
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer((self._host, self._port), handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-exposition",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the listener down and join the serving thread."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "ExpositionServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the OS-assigned one)."""
+        if self._httpd is not None:
+            return self._httpd.server_address[1]
+        return self._port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self.port}"
+
+    # -- rendering (called from handler threads) ---------------------------
+
+    @staticmethod
+    def _retry(render):
+        # The simulation thread may be inserting a new series while we
+        # iterate; both sides only add, so retrying is sound.
+        for _ in range(8):
+            try:
+                return render()
+            except RuntimeError:  # pragma: no cover - timing dependent
+                continue
+        return render()  # pragma: no cover - last try, raise for real
+
+    def render_metrics(self) -> "tuple[int, str, str]":
+        if self._metrics is None:
+            return 404, "text/plain; charset=utf-8", "no metrics registry attached\n"
+        body = self._retry(self._metrics.render_prometheus)
+        return 200, PROMETHEUS_CONTENT_TYPE, body
+
+    def render_slo(self) -> "tuple[int, str, str]":
+        if self._slo is None:
+            return 404, "application/json", json.dumps({"error": "no slo evaluator"})
+        body = self._retry(self._slo.to_json)
+        return 200, "application/json", body
+
+    def render_healthz(self) -> "tuple[int, str, str]":
+        state = self._slo.state if self._slo is not None else "ok"
+        code = 503 if state == "page" else 200
+        body = json.dumps(
+            {"status": "failing" if state == "page" else "ok", "slo_state": state},
+            sort_keys=True,
+        )
+        return code, "application/json", body
+
+
+def _make_handler(server: ExpositionServer) -> type:
+    class Handler(BaseHTTPRequestHandler):
+        routes = {
+            "/metrics": server.render_metrics,
+            "/healthz": server.render_healthz,
+            "/slo": server.render_slo,
+        }
+
+        def do_GET(self):  # noqa: N802 - http.server API
+            path = self.path.split("?", 1)[0]
+            render = self.routes.get(path)
+            if render is None:
+                code, ctype, body = 404, "text/plain; charset=utf-8", "not found\n"
+            else:
+                code, ctype, body = render()
+            payload = body.encode("utf-8")
+            self.send_response(code)
+            self.send_header("Content-Type", ctype)
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def log_message(self, *args):  # pragma: no cover - silence stderr
+            pass
+
+    return Handler

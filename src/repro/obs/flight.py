@@ -1,0 +1,239 @@
+"""Flight recorder: a bounded ring of recent telemetry, dumped on incident.
+
+A :class:`FlightRecorder` continuously retains the last ``capacity``
+telemetry records — trace spans/events (via a :meth:`Tracer.add_tap`
+tap), per-tick counter deltas (via :meth:`sample_metrics`), and SLO
+state transitions — and, when something goes wrong, freezes that recent
+history into a JSONL *incident bundle*: what the fabric was doing in
+the moments before the breach, without having kept a full trace.
+
+Dump triggers:
+
+* a ``fault.fail`` event flowing through the trace tap (link failure);
+* an SLO breach — the evaluator's breach hook calls :meth:`on_breach`
+  on entry to the ``page`` state;
+* an explicit :meth:`dump` call.
+
+Dumps are debounced on the *virtual* clock (``min_gap`` ticks) so a
+burst of correlated failures produces one bundle, not hundreds.  With
+``out_dir`` set, bundles are written as ``incident-NNN.jsonl`` (oldest
+rotated out beyond ``keep``); without it they are retained in memory on
+:attr:`bundles` — which is also what the tests inspect.
+
+Like every observability component here, the recorder draws no
+randomness and never feeds back into routing decisions: attaching one
+to a seeded run leaves every decision byte-identical (the transparency
+suite enforces this).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.trace import _jsonify
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.slo import SLOEvaluator
+    from repro.obs.trace import Tracer
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """Rings recent telemetry; dumps a JSONL incident bundle on trouble.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum records retained in the ring (oldest dropped first).
+    out_dir:
+        Directory for incident bundles; created on first dump.  ``None``
+        keeps bundles in memory only.
+    keep:
+        Maximum bundle files kept in ``out_dir`` (oldest deleted).
+    min_gap:
+        Minimum virtual-time gap between dumps (debounce).
+    auto_fault_dump:
+        Dump automatically when a ``fault.fail`` event crosses the tap.
+    """
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 4096,
+        out_dir: "str | None" = None,
+        keep: int = 16,
+        min_gap: float = 25.0,
+        auto_fault_dump: bool = True,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self._ring: "deque[dict]" = deque(maxlen=capacity)
+        self._out_dir = out_dir
+        self._keep = int(keep)
+        self._min_gap = float(min_gap)
+        self._auto_fault_dump = bool(auto_fault_dump)
+        self._metric_prev: "dict[tuple, float]" = {}
+        self._last_dump_t: "float | None" = None
+        self._slo: "SLOEvaluator | None" = None
+        self.seen = 0  # every record ever offered, retained or not
+        self.dumped = 0  # bundles produced (including debounced-to-disk ones)
+        self.suppressed = 0  # dump triggers swallowed by the debounce
+        self.bundles: list[dict] = []  # bundle metadata (plus records if in-memory)
+
+    # -- wiring ------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Ring size; ``seen - len(ring)`` records have been truncated."""
+        return self._ring.maxlen or 0
+
+    @property
+    def truncated(self) -> int:
+        """How many records the ring has dropped oldest-first."""
+        return max(0, self.seen - len(self._ring))
+
+    def records(self) -> list[dict]:
+        """A snapshot of the retained ring, oldest first."""
+        return list(self._ring)
+
+    def watch(self, tracer: "Tracer") -> "Tracer":
+        """Tap ``tracer`` so every emitted record lands in the ring.
+
+        Returns the tracer for chaining (``service = FabricService(
+        tracer=flight.watch(Tracer()), ...)``).
+        """
+        tracer.add_tap(self.tap)
+        return tracer
+
+    def attach_slo(self, slo: "SLOEvaluator") -> None:
+        """Register the breach hook and include SLO state in bundles."""
+        self._slo = slo
+        slo.add_breach_hook(self.on_breach)
+
+    # -- ingestion ---------------------------------------------------------
+
+    def _push(self, record: dict) -> None:
+        self._ring.append(record)
+        self.seen += 1
+
+    def tap(self, record: dict) -> None:
+        """Trace-tap entry point: ring the record, dump on ``fault.fail``."""
+        self._push(record)
+        if (
+            self._auto_fault_dump
+            and record.get("type") == "event"
+            and record.get("name") == "fault.fail"
+        ):
+            self.dump(reason="fault.fail", now=record.get("t") or 0.0)
+
+    def sample_metrics(self, registry: "MetricsRegistry", now: float) -> None:
+        """Ring the counter deltas since the previous sample.
+
+        Only counters are diffed (gauges/histograms are reconstructable
+        from the registry itself); a tick with no movement rings
+        nothing, so quiet fabrics don't churn the ring.  This runs every
+        tick, so it walks the counter series in place rather than taking
+        a full registry snapshot, and renders label strings only for the
+        (few) series that actually moved.
+        """
+        from repro.obs.metrics import Counter
+
+        deltas: "dict[str, float]" = {}
+        current: "dict[tuple, float]" = {}
+        for metric in registry:  # registry iteration is name-sorted
+            if not isinstance(metric, Counter):
+                continue
+            for key, value in metric._series.items():
+                ref = (metric.name, key)
+                current[ref] = value
+                delta = value - self._metric_prev.get(ref, 0.0)
+                if delta:
+                    label = (
+                        metric.name
+                        + "{" + ",".join(f'{k}="{v}"' for k, v in key) + "}"
+                    )
+                    deltas[label] = delta
+        self._metric_prev = current
+        if deltas:
+            self._push({"type": "metrics", "t": now, "deltas": deltas})
+
+    def note_slo(self, now: float, status: dict) -> None:
+        """Ring an SLO state document (the evaluator's per-tick output)."""
+        self._push({"type": "slo", "t": now, "state": status["state"],
+                    "slos": {n: s["state"] for n, s in status["slos"].items()}})
+
+    def on_breach(self, name: str, status: dict, now: float) -> None:
+        """Breach hook for :meth:`SLOEvaluator.add_breach_hook`."""
+        self._push({"type": "breach", "t": now, "slo": name, "status": status})
+        self.dump(reason=f"slo:{name}", now=now)
+
+    # -- dumping -----------------------------------------------------------
+
+    def dump(
+        self,
+        *,
+        reason: str,
+        now: float,
+        force: bool = False,
+        extra: "dict[str, Any] | None" = None,
+    ) -> "str | None":
+        """Freeze the ring into an incident bundle.
+
+        Returns the bundle path (or ``None`` when in-memory or
+        debounced).  The bundle is JSONL: a header line identifying the
+        incident, then every ringed record oldest-first, then the last
+        SLO evaluation when an evaluator is attached.
+        """
+        if (
+            not force
+            and self._last_dump_t is not None
+            and now - self._last_dump_t < self._min_gap
+        ):
+            self.suppressed += 1
+            return None
+        self._last_dump_t = now
+        self.dumped += 1
+        header = {
+            "type": "incident",
+            "id": self.dumped,
+            "reason": reason,
+            "t": now,
+            "records": len(self._ring),
+            "truncated": self.truncated,
+        }
+        if extra:
+            header.update(extra)
+        lines = [header, *self._ring]
+        if self._slo is not None and self._slo.last is not None:
+            lines.append({"type": "slo", "t": now, **self._slo.last})
+        meta = {"id": self.dumped, "reason": reason, "t": now, "path": None}
+        if self._out_dir is None:
+            meta["lines"] = [dict(line) for line in lines]
+        else:
+            os.makedirs(self._out_dir, exist_ok=True)
+            path = os.path.join(self._out_dir, f"incident-{self.dumped:03d}.jsonl")
+            with open(path, "w") as fh:
+                for line in lines:
+                    fh.write(json.dumps(line, sort_keys=True, default=_jsonify))
+                    fh.write("\n")
+            meta["path"] = path
+            self._rotate()
+        self.bundles.append(meta)
+        return meta["path"]
+
+    def _rotate(self) -> None:
+        if self._out_dir is None:
+            return
+        names = sorted(
+            n for n in os.listdir(self._out_dir)
+            if n.startswith("incident-") and n.endswith(".jsonl")
+        )
+        for stale in names[: max(0, len(names) - self._keep)]:
+            os.remove(os.path.join(self._out_dir, stale))

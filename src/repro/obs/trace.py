@@ -33,6 +33,16 @@ Record schema::
 
 Spans are recorded once, at close time; a span left open when the trace
 is exported is flushed with ``status="open"`` and ``t1=None``.
+
+Two optional facilities ride on the same emission path:
+
+* **Taps** (:meth:`Tracer.add_tap`) receive every record at the moment
+  it is appended — the flight recorder uses one to ring recent records
+  without a second instrumentation pass.
+* **Parent context** (:meth:`Tracer.context`) pushes a span id onto a
+  stack; records emitted while it is held carry a ``parent`` attribute,
+  which is how one logical operation (a cluster open, a shard failover)
+  links the shard-level spans it causes into a single causal trace.
 """
 
 from __future__ import annotations
@@ -72,6 +82,8 @@ class Tracer:
         self._seq = 0
         self._next_sid = 1
         self._open_spans: dict[int, dict] = {}
+        self._taps: "list[Callable[[dict], None]]" = []
+        self._ctx: list[int] = []  # parent-span stack (see context())
         self.emitted = 0  # every record ever emitted, truncated or not
 
     # -- introspection -----------------------------------------------------
@@ -107,6 +119,53 @@ class Tracer:
         self._seq += 1
         self.emitted += 1
         self._records.append(record)
+        for tap in self._taps:
+            tap(record)
+
+    def add_tap(self, tap: "Callable[[dict], None]") -> None:
+        """Register a callable invoked with every record as it is emitted.
+
+        Taps see the final record dict (spans at close time) and must
+        not mutate it.  The flight recorder registers itself this way.
+        """
+        self._taps.append(tap)
+
+    @contextmanager
+    def context(self, sid: "int | None"):
+        """Mark ``sid`` as the causal parent of records emitted inside.
+
+        Every event or span opened while the context is held gains a
+        ``parent`` attribute (unless one was passed explicitly), so a
+        cross-component chain — a cluster open driving shard-level
+        submits, a shard failover driving heals — reads as one trace.
+        ``sid=None`` is a transparent no-op, letting call sites skip
+        ``if parent is not None`` guards.
+        """
+        if sid is None:
+            yield
+            return
+        self._ctx.append(sid)
+        try:
+            yield
+        finally:
+            self._ctx.pop()
+
+    def current_parent(self) -> "int | None":
+        """The innermost :meth:`context` span id, or ``None``.
+
+        Lets a component *capture* the causal parent at submission time
+        and re-establish it later, when the deferred work actually runs
+        (the serve layer does this for queued requests, so spans opened
+        ticks later still parent to the cluster-level span that caused
+        them).
+        """
+        return self._ctx[-1] if self._ctx else None
+
+    def _parented(self, attrs: dict) -> dict:
+        attrs = self._clean(attrs)
+        if self._ctx and "parent" not in attrs:
+            attrs["parent"] = self._ctx[-1]
+        return attrs
 
     def event(self, name: str, t: "float | None" = None, **attrs: Any) -> None:
         """Record one instantaneous observation.
@@ -115,7 +174,7 @@ class Tracer:
         are free-form JSON-serializable attributes.
         """
         record = {"type": "event", "name": name, "t": t, "wall": self._wall()}
-        record.update(self._clean(attrs))
+        record.update(self._parented(attrs))
         self._append(record)
 
     def span_open(self, name: str, t: "float | None" = None, **attrs: Any) -> int:
@@ -131,7 +190,7 @@ class Tracer:
             "wall0": self._wall(),
             "wall1": None,
             "status": "open",
-            **self._clean(attrs),
+            **self._parented(attrs),
         }
         return sid
 

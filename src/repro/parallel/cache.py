@@ -233,7 +233,6 @@ class RouteCache:
         self,
         conferences: "Iterable[Conference | list[int] | tuple[int, ...]]",
         faults: "frozenset[Point] | None" = None,
-        engine: str = "bitset",
     ) -> int:
         """Batch-compute and store routes for every absent conference.
 
@@ -263,7 +262,6 @@ class RouteCache:
             list(todo.values()),
             self._policy,
             faults=key_faults or None,
-            engine=engine,
         )
         stored = 0
         for key, outcome in zip(todo, outcomes):

@@ -99,12 +99,10 @@ def random_load_trial(index: int, seed, params: dict) -> dict:
     generate = WORKLOAD_GENERATORS[params.get("workload", "uniform")]
     kwargs = dict(params.get("generator_kwargs") or {})
     conferences = generate(params["n_ports"], seed=seed, **kwargs)
-    engine = params.get("engine", "bitset")
-    if engine == "bitset":
-        # Route the whole set through the columnar kernel in one pass;
-        # the per-conference lookups below then hit the cache.  Records
-        # are identical either way (primed routes are byte-identical).
-        cache.prime(conferences, engine=engine)
+    # Route the whole set through the columnar kernel in one pass; the
+    # per-conference lookups below then hit the cache.  Records are
+    # identical either way (primed routes are byte-identical).
+    cache.prime(conferences)
     routes = [cache.route(conf) for conf in conferences]
     report = analyze_conflicts(routes, n_stages=cache.network.n_stages)
     _record_trial("random_load", int(report.max_multiplicity))
@@ -136,7 +134,6 @@ def random_load_arm(
     workers: "int | None" = None,
     chunk_size: "int | None" = None,
     metrics=None,
-    engine: str = "bitset",
     **generator_kwargs,
 ) -> dict:
     """One sweep cell: ``trials`` random sets on one topology/workload.
@@ -156,7 +153,6 @@ def random_load_arm(
         "n_ports": n_ports,
         "workload": workload,
         "generator_kwargs": generator_kwargs,
-        "engine": engine,
     }
     runner = _runner(params, workers=workers, chunk_size=chunk_size, metrics=metrics)
     records = runner.run_trials(random_load_trial, trials, params=params, seed=seed, seeds=seeds)
@@ -176,17 +172,15 @@ def search_trial(index: int, seed, params: dict) -> dict:
     """
     n = params["n_ports"]
     cache = shared_route_cache(params["topology"], n, params.get("policy"))
-    engine = params.get("engine", "bitset")
     rng = np.random.default_rng(seed)
     ports = rng.permutation(n)
     pairs = [
         (int(ports[2 * i]), int(ports[2 * i + 1]))
         for i in range(min(params.get("pool_size", 64), n // 2))
     ]
-    if engine == "bitset":
-        # One columnar pass resolves the seed matching (see
-        # ``randomized_search``); decisions and records are unchanged.
-        cache.prime(pairs, engine=engine)
+    # One columnar pass resolves the seed matching (see
+    # ``randomized_search``); decisions and records are unchanged.
+    cache.prime(pairs)
     loads: Counter = Counter()
     links_of: dict[tuple[int, int], frozenset] = {}
     for pair in pairs:
@@ -209,7 +203,7 @@ def search_trial(index: int, seed, params: dict) -> dict:
             a, b = free[i], free[j]
             if a in used or b in used:
                 continue
-            if engine == "bitset" and j >= primed_until:
+            if j >= primed_until:
                 block = []
                 k = j
                 while k < len(free) and len(block) < 64:
@@ -217,7 +211,7 @@ def search_trial(index: int, seed, params: dict) -> dict:
                         block.append((min(a, free[k]), max(a, free[k])))
                     k += 1
                 primed_until = k
-                cache.prime(block, engine=engine)
+                cache.prime(block)
             pair = (min(a, b), max(a, b))
             if target in cache.route(Conference.of(pair)).links:
                 keep.append(pair)
@@ -241,7 +235,6 @@ def search_trials(
     workers: "int | None" = None,
     chunk_size: "int | None" = None,
     metrics=None,
-    engine: str = "bitset",
 ) -> list[dict]:
     """Per-trial records of the sharded randomized search, trial order."""
     params = {
@@ -249,7 +242,6 @@ def search_trials(
         "n_ports": n_ports,
         "pool_size": pool_size,
         "policy": policy,
-        "engine": engine,
     }
     runner = _runner(params, workers=workers, chunk_size=chunk_size, metrics=metrics)
     return runner.run_trials(search_trial, trials, params=params, seed=seed)
@@ -286,7 +278,6 @@ def randomized_search_parallel(
     workers: "int | None" = None,
     chunk_size: "int | None" = None,
     metrics=None,
-    engine: str = "bitset",
 ):
     """Sharded randomized worst-case search; see ``randomized_search``."""
     records = search_trials(
@@ -299,7 +290,6 @@ def randomized_search_parallel(
         workers=workers,
         chunk_size=chunk_size,
         metrics=metrics,
-        engine=engine,
     )
     return reduce_search_records(records, n_ports)
 

@@ -1,0 +1,75 @@
+"""Rendering of a live SLO evaluation for the CLI and JSON reports.
+
+The :class:`~repro.obs.slo.SLOEvaluator` caches its last full status
+document (the same shape the ``/slo`` endpoint serves); this module
+turns that document into the shared result-serializer dict and the
+row shapes :func:`~repro.report.tables.render_table` draws.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.obs.slo import SLOEvaluator
+
+__all__ = ["build_slo_report", "slo_rows"]
+
+
+def _fmt_quantile(value: "float | None") -> str:
+    if value is None:
+        return "-"
+    if value != value or value in (float("inf"), float("-inf")):
+        return "inf"
+    return f"{value:g}"
+
+
+def build_slo_report(
+    slo: "SLOEvaluator", *, context: "dict[str, Any] | None" = None
+) -> dict[str, Any]:
+    """The shared-schema JSON document of one evaluator's final state.
+
+    ``context`` (workload parameters, throughput, ...) rides along
+    verbatim so a report file is self-describing.  The evaluator's own
+    status document is embedded unchanged — the file a drill writes and
+    the body the live ``/slo`` endpoint served during the run agree.
+    """
+    status = slo.last or {
+        "t": 0.0,
+        "state": "ok",
+        "slos": {name: {"name": name, "state": "ok"} for name in sorted(slo.specs)},
+    }
+    report: dict[str, Any] = {
+        "kind": "slo_report",
+        "ok": status["state"] != "page",
+        "state": status["state"],
+        "t": status["t"],
+        "slos": status["slos"],
+    }
+    if context:
+        report["context"] = dict(context)
+    return report
+
+
+def slo_rows(slo: "SLOEvaluator") -> list[dict[str, Any]]:
+    """Per-objective table rows of the evaluator's last evaluation."""
+    status = slo.last or {"slos": {}}
+    rows: list[dict[str, Any]] = []
+    for name in sorted(status["slos"]):
+        st = status["slos"][name]
+        windows = st.get("windows", ())
+        burn = max((w["burn_rate"] for w in windows), default=0.0)
+        pct = st.get("percentiles") or {}
+        rows.append(
+            {
+                "slo": name,
+                "state": st.get("state", "ok"),
+                "objective": st.get("objective", ""),
+                "burn": round(burn, 3),
+                "breaches": st.get("breaches", 0),
+                "p50": _fmt_quantile(pct.get("p50")),
+                "p95": _fmt_quantile(pct.get("p95")),
+                "p99": _fmt_quantile(pct.get("p99")),
+            }
+        )
+    return rows

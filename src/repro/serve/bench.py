@@ -32,7 +32,9 @@ from repro.util.rng import ensure_rng
 from repro.util.validation import check_positive
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.obs.flight import FlightRecorder
     from repro.obs.metrics import MetricsRegistry
+    from repro.obs.slo import SLOEvaluator
     from repro.obs.trace import Tracer
     from repro.parallel.cache import RouteCache
 
@@ -154,9 +156,10 @@ def run_serve_bench(
     fault_horizon: "float | None" = None,
     route_cache: "RouteCache | None" = None,
     protection: int = 0,
-    batch_engine: str = "bitset",
     tracer: "Tracer | None" = None,
     metrics: "MetricsRegistry | None" = None,
+    slo: "SLOEvaluator | None" = None,
+    flight: "FlightRecorder | None" = None,
     max_ticks: "int | None" = None,
 ) -> ServeBenchReport:
     """Run a seeded churn workload against a fresh service.
@@ -196,9 +199,10 @@ def run_serve_bench(
         rng=service_rng,
         route_cache=route_cache,
         protection=protection,
-        batch_engine=batch_engine,
         tracer=tracer,
         metrics=metrics,
+        slo=slo,
+        flight=flight,
         queue_capacity=queue_capacity,
         shed_policy=shed_policy,
         max_batch=max_batch,

@@ -58,7 +58,9 @@ from repro.util.validation import check_positive
 if TYPE_CHECKING:  # pragma: no cover - annotations only
     import numpy as np
 
+    from repro.obs.flight import FlightRecorder
     from repro.obs.metrics import MetricsRegistry
+    from repro.obs.slo import SLOEvaluator
     from repro.obs.trace import Tracer
     from repro.parallel.cache import RouteCache
     from repro.sim.faults import FaultTransition
@@ -147,9 +149,10 @@ class FabricService:
         rng: "int | np.random.Generator | None" = None,
         route_cache: "RouteCache | None" = None,
         protection: int = 0,
-        batch_engine: str = "bitset",
         tracer: "Tracer | None" = None,
         metrics: "MetricsRegistry | None" = None,
+        slo: "SLOEvaluator | None" = None,
+        flight: "FlightRecorder | None" = None,
         queue_capacity: int = 1024,
         shed_policy: "ShedPolicy | str" = ShedPolicy.REJECT_NEWEST,
         max_batch: int = 64,
@@ -165,7 +168,6 @@ class FabricService:
             rng=healing_rng,
             route_cache=route_cache,
             protection=protection,
-            batch_engine=batch_engine,
             tracer=tracer,
             metrics=metrics,
         )
@@ -177,6 +179,17 @@ class FabricService:
         self._tick_interval = tick_interval
         self.tracer = tracer
         self._metrics = metrics
+        # Live-health observation (see repro.obs.slo / repro.obs.flight):
+        # both default to None and every touch point is gated on that, so
+        # the SLO engine is bit-transparent to admission and routing.
+        self._slo = slo
+        self._flight = flight
+        self._slo_recovery_seen = 0  # healing recovery samples consumed
+        # Causal parents captured at submission time (cluster spans), so
+        # spans opened when the queued request finally executes still
+        # link into the submitting operation's trace.
+        self._trace_parent: dict[int, int] = {}
+        self._slo_prev: dict[str, int] = {"offered": 0, "shed": 0, "rejected": 0}
         self.stats = ServiceStats()
         self._state = "running"  # running -> draining -> closed
         self._next_request_id = 0
@@ -208,9 +221,14 @@ class FabricService:
         return self._healing.protection
 
     @property
-    def batch_engine(self) -> str:
-        """The routing engine for per-tick batches (``bitset``/``legacy``)."""
-        return self._healing.batch_engine
+    def slo(self) -> "SLOEvaluator | None":
+        """The attached SLO evaluator, or ``None``."""
+        return self._slo
+
+    @property
+    def flight(self) -> "FlightRecorder | None":
+        """The attached flight recorder, or ``None``."""
+        return self._flight
 
     @property
     def sessions(self) -> SessionTable:
@@ -353,6 +371,10 @@ class FabricService:
             return self._reject(request, session_id, reason="backpressure")
         self._inflight.add(request.request_id)
         if self.tracer is not None:
+            parent = self.tracer.current_parent()
+            if parent is not None:
+                self._trace_parent[request.request_id] = parent
+        if self.tracer is not None:
             self.tracer.event(
                 "serve.enqueue",
                 t=self.now,
@@ -408,6 +430,8 @@ class FabricService:
         self._reconcile_degraded()
         self.stats.ticks += 1
         self._observe(report)
+        if self._slo is not None:
+            self._slo_tick()
         return report
 
     def _prime_batch(self, batch: "list[SessionRequest]") -> None:
@@ -437,6 +461,11 @@ class FabricService:
             RequestKind.LEAVE: self._handle_resize,
             RequestKind.CLOSE: self._handle_close,
         }[request.kind]
+        if self.tracer is not None:
+            # Re-establish the causal parent captured at submission so
+            # the admission spans parent to the cluster-level operation.
+            with self.tracer.context(self._trace_parent.get(request.request_id)):
+                return handler(request, batch_seq)
         return handler(request, batch_seq)
 
     def _handle_open(self, request: SessionRequest, batch_seq: int) -> ServiceResponse:
@@ -662,6 +691,7 @@ class FabricService:
         self._inflight.discard(request.request_id)
         self._session_of_request.pop(request.request_id, None)
         self._restores.discard(request.request_id)
+        self._trace_parent.pop(request.request_id, None)
         self.stats.record(response)
         self._count_request(request.kind, status)
         if self._metrics is not None and status == "admitted":
@@ -670,6 +700,8 @@ class FabricService:
                 "Queue + admission latency of admitted opens, in virtual time",
                 buckets=SERVE_LATENCY_BUCKETS,
             ).observe(response.latency)
+        if self._slo is not None and status == "admitted" and "admission_latency" in self._slo:
+            self._slo.observe("admission_latency", response.latency, now=self.now)
         callback = self._completions.pop(request.request_id, None)
         if callback is not None:
             callback(response)
@@ -713,6 +745,46 @@ class FabricService:
         sessions = reg.gauge("repro_serve_sessions", "Sessions by lifecycle state")
         for state, count in self._sessions.counts().items():
             sessions.set(count, state=state)
+
+    def _slo_tick(self) -> None:
+        """Feed this tick's health signals into the SLO engine.
+
+        Pure observation: reads session counts, service-stat deltas and
+        the healing controller's recovery samples, then evaluates every
+        objective.  Nothing here feeds back into admission or routing.
+        """
+        slo, now = self._slo, self.now
+        if "availability" in slo:
+            counts = self._sessions.counts()
+            down = counts.get("down", 0)
+            live = counts.get("active", 0) + counts.get("degraded", 0)
+            if live or down:
+                slo.record("availability", good=live, bad=down, now=now)
+        if "recovery" in slo:
+            samples = self._healing.stats.recovery_samples
+            for ticks in samples[self._slo_recovery_seen:]:
+                slo.observe("recovery", ticks, now=now)
+            self._slo_recovery_seen = len(samples)
+        if "shed_rate" in slo:
+            offered = self.stats.offered
+            dropped = self.stats.shed + self.stats.rejected
+            d_offered = offered - self._slo_prev["offered"]
+            d_dropped = dropped - (self._slo_prev["shed"] + self._slo_prev["rejected"])
+            if d_offered:
+                slo.record(
+                    "shed_rate",
+                    good=max(0, d_offered - d_dropped),
+                    bad=d_dropped,
+                    now=now,
+                )
+            self._slo_prev.update(
+                offered=offered, shed=self.stats.shed, rejected=self.stats.rejected
+            )
+        status = slo.evaluate(now)
+        if self._flight is not None:
+            if self._metrics is not None:
+                self._flight.sample_metrics(self._metrics, now)
+            self._flight.note_slo(now, status)
 
     # -- drain / shutdown --------------------------------------------------
 

@@ -74,6 +74,9 @@ class Session:
     generation: int = 0  # route swaps + re-admissions survived
     requeues: int = 0  # fault-induced re-admission round trips
     history: list[str] = field(default_factory=list)
+    # Owning table, set by SessionTable.create so transitions keep the
+    # table's per-state tally current; free-standing sessions skip it.
+    table: "SessionTable | None" = field(default=None, repr=False, compare=False)
 
     @property
     def conference_id(self) -> int:
@@ -95,6 +98,9 @@ class Session:
                 f"{self.state.value} -> {target.value}"
             )
         self.history.append(f"{at:g}:{target.value}")
+        if self.table is not None:
+            self.table._tally[self.state] -= 1
+            self.table._tally[target] += 1
         self.state = target
         if target is SessionState.CLOSED:
             self.closed_at = at
@@ -106,6 +112,9 @@ class SessionTable:
     def __init__(self) -> None:
         self._sessions: dict[int, Session] = {}
         self._next_id = 0
+        # Maintained by Session.transition; the telemetry paths read
+        # counts() every tick, so it must not rescan the whole table.
+        self._tally: dict[SessionState, int] = {state: 0 for state in SessionState}
 
     def __len__(self) -> int:
         return len(self._sessions)
@@ -126,8 +135,10 @@ class SessionTable:
             priority=priority,
             state=SessionState.QUEUED,
             opened_at=at,
+            table=self,
         )
         self._sessions[session.session_id] = session
+        self._tally[SessionState.QUEUED] += 1
         self._next_id += 1
         return session
 
@@ -152,7 +163,4 @@ class SessionTable:
 
     def counts(self) -> dict[str, int]:
         """Session tally per lifecycle state (all states present)."""
-        out = {state.value: 0 for state in SessionState}
-        for session in self._sessions.values():
-            out[session.state.value] += 1
-        return out
+        return {state.value: self._tally[state] for state in SessionState}

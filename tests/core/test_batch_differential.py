@@ -1,32 +1,37 @@
-"""Differential harness: the bitset kernel against the sequential oracle.
+"""Differential harness: the columnar kernel against sequential oracles.
 
-``route_batch(..., engine="bitset")`` promises **byte-identity** with
-the legacy per-object path, not mere equality: Route dicts built in the
-same insertion order, frozensets iterating identically, errors raised
-with the same type and message.  This grid holds the two engines side by
-side across topologies, tap policies, fault sets, seeds and batch sizes
-and compares the strongest observable form of each output — ``repr``
+``route_batch`` promises **byte-identity** with the per-object
+``route_conference`` walk it replaced, not mere equality: Route dicts
+built in the same insertion order, frozensets iterating identically,
+errors raised with the same type and message.  Now that the kernel is
+the only engine, the oracle lives *here*: ``sequential_outcomes`` routes
+each conference one at a time through the public per-object API, and the
+grid compares the strongest observable form of each output — ``repr``
 bytes for routes, ``list()`` order for frozensets, ``args`` for errors,
 whole outcome/ledger structures for the admission and healing layers.
 
-Byte-identity is what lets the legacy path retire next PR: any place the
-kernel's order diverged would surface here as a diff, long before it
-could skew an admission message or a worst-case search pick.
+The same applies to conflict accounting: ``analyze_conflicts`` is the
+columnar load matrix, and ``counter_walk_report`` below re-implements
+the original Counter-based walk as a reference the report is held
+field-for-field equal to, worst-link tie-break included.
 """
+
+from collections import Counter
 
 import pytest
 
 from repro.core.admission import AdmissionController, AdmissionDenied
 from repro.core.batch import (
     MAX_KERNEL_MEMBERS,
+    BatchRouteOutcome,
     analyze_conflicts_columnar,
     route_batch,
 )
 from repro.core.conference import Conference
-from repro.core.conflict import analyze_conflicts
+from repro.core.conflict import ConflictReport, analyze_conflicts, link_loads
 from repro.core.healing import SelfHealingController
 from repro.core.network import ConferenceNetwork
-from repro.core.routing import RoutingPolicy, UnroutableError
+from repro.core.routing import RoutingPolicy, UnroutableError, route_conference
 from repro.sim.engine import EventLoop
 from repro.topology.builders import build
 from repro.util.rng import ensure_rng
@@ -47,9 +52,55 @@ def random_batch(n_ports, rng, size, max_members=6):
     return batch
 
 
-def assert_outcomes_identical(bitset, legacy):
-    assert len(bitset) == len(legacy)
-    for got, want in zip(bitset, legacy):
+def sequential_outcomes(net, batch, policy=None, faults=None):
+    """The per-object oracle: one ``route_conference`` call at a time."""
+    policy = policy or RoutingPolicy()
+    dead = frozenset(faults or ())
+    out = []
+    for conf in batch:
+        try:
+            route = route_conference(net, conf, policy, faults=dead or None)
+            out.append(BatchRouteOutcome(conf, route=route))
+        except ValueError as exc:  # UnroutableError is a ValueError subclass
+            out.append(BatchRouteOutcome(conf, error=exc))
+    return out
+
+
+def counter_walk_report(routes, n_stages=None):
+    """The original Counter-based conflict walk, kept as the reference.
+
+    Field-for-field the implementation ``analyze_conflicts`` shipped
+    before the columnar fold — including the lowest-point tie-break on
+    the worst link, which the kernel must reproduce exactly.
+    """
+    routes = list(routes)
+    if n_stages is None:
+        if not routes:
+            raise ValueError("n_stages is required for an empty route collection")
+        n_stages = routes[0].n_stages
+    loads = link_loads(routes)
+    profile = [0] * n_stages
+    worst, worst_load = None, 0
+    for (level, row), load in loads.items():
+        profile[level - 1] = max(profile[level - 1], load)
+        if load > worst_load or (
+            load == worst_load and worst is not None and (level, row) < worst
+        ):
+            worst, worst_load = (level, row), load
+    return ConflictReport(
+        n_conferences=len(routes),
+        n_stages=n_stages,
+        max_multiplicity=worst_load,
+        worst_link=worst,
+        stage_profile=tuple(profile),
+        load_histogram=tuple(sorted(Counter(loads.values()).items())),
+        total_links_used=len(loads),
+    )
+
+
+def assert_outcomes_identical(batched, oracle):
+    assert len(batched) == len(oracle)
+    for got, want in zip(batched, oracle):
         assert got.conference == want.conference
         assert got.ok == want.ok
         if want.ok:
@@ -74,9 +125,10 @@ class TestRouteBatchGrid:
         policy = RoutingPolicy(tap_policy=tap)
         rng = ensure_rng(seed)
         batch = random_batch(16, rng, size=24)
-        bitset = route_batch(net, batch, policy, engine="bitset")
-        legacy = route_batch(net, batch, policy, engine="legacy")
-        assert_outcomes_identical(bitset, legacy)
+        assert_outcomes_identical(
+            route_batch(net, batch, policy),
+            sequential_outcomes(net, batch, policy),
+        )
 
     @pytest.mark.parametrize("size", [1, 3, 40, 200])
     def test_batch_sizes_cross_chunk_boundaries(self, size):
@@ -84,8 +136,7 @@ class TestRouteBatchGrid:
         rng = ensure_rng(size)
         batch = random_batch(16, rng, size=size)
         assert_outcomes_identical(
-            route_batch(net, batch, engine="bitset"),
-            route_batch(net, batch, engine="legacy"),
+            route_batch(net, batch), sequential_outcomes(net, batch)
         )
 
     def test_larger_network(self):
@@ -93,8 +144,7 @@ class TestRouteBatchGrid:
         rng = ensure_rng(3)
         batch = random_batch(64, rng, size=32, max_members=10)
         assert_outcomes_identical(
-            route_batch(net, batch, engine="bitset"),
-            route_batch(net, batch, engine="legacy"),
+            route_batch(net, batch), sequential_outcomes(net, batch)
         )
 
     @pytest.mark.parametrize("topology", ["indirect-binary-cube", "extra-stage-cube"])
@@ -107,51 +157,52 @@ class TestRouteBatchGrid:
             for _ in range(4)
         )
         batch = random_batch(16, rng, size=30)
-        bitset = route_batch(net, batch, faults=faults, engine="bitset")
-        legacy = route_batch(net, batch, faults=faults, engine="legacy")
-        assert_outcomes_identical(bitset, legacy)
+        batched = route_batch(net, batch, faults=faults)
+        assert_outcomes_identical(
+            batched, sequential_outcomes(net, batch, faults=faults)
+        )
         # The fault grid must actually exercise the failure branch.
         if topology == "indirect-binary-cube":
-            assert any(isinstance(o.error, UnroutableError) for o in bitset)
+            assert any(isinstance(o.error, UnroutableError) for o in batched)
 
     def test_out_of_range_member_message(self):
         net = build("omega", 16)
         batch = [Conference.of([0, 1]), Conference.of([2, 99]), Conference.of([3, 4])]
-        bitset = route_batch(net, batch, engine="bitset")
-        legacy = route_batch(net, batch, engine="legacy")
-        assert_outcomes_identical(bitset, legacy)
-        assert not bitset[1].ok
-        assert type(bitset[1].error) is ValueError
+        batched = route_batch(net, batch)
+        oracle = sequential_outcomes(net, batch)
+        assert_outcomes_identical(batched, oracle)
+        assert not batched[1].ok
+        assert type(batched[1].error) is ValueError
         with pytest.raises(ValueError) as excinfo:
-            bitset[1].unwrap()
-        assert excinfo.value.args == legacy[1].error.args
+            batched[1].unwrap()
+        assert excinfo.value.args == oracle[1].error.args
 
-    def test_oversized_conference_falls_back_to_legacy(self):
+    def test_oversized_conference_falls_back_to_sequential(self):
         net = build("omega", 128)
         big = Conference.of(range(MAX_KERNEL_MEMBERS + 1))
         small = Conference.of([1, 2])
         assert_outcomes_identical(
-            route_batch(net, [big, small], engine="bitset"),
-            route_batch(net, [big, small], engine="legacy"),
+            route_batch(net, [big, small]),
+            sequential_outcomes(net, [big, small]),
         )
 
-    def test_prune_policy_falls_back_to_legacy(self):
+    def test_prune_policy_falls_back_to_sequential(self):
         net = build("indirect-binary-cube", 16)
         policy = RoutingPolicy(prune=True)
         batch = random_batch(16, ensure_rng(2), size=8)
         assert_outcomes_identical(
-            route_batch(net, batch, policy, engine="bitset"),
-            route_batch(net, batch, policy, engine="legacy"),
+            route_batch(net, batch, policy),
+            sequential_outcomes(net, batch, policy),
         )
 
-    def test_unknown_engine_rejected(self):
+    def test_engine_parameter_is_gone(self):
         net = build("omega", 16)
-        with pytest.raises(ValueError, match="unknown batch engine"):
-            route_batch(net, [Conference.of([0, 1])], engine="simd")
+        with pytest.raises(TypeError):
+            route_batch(net, [Conference.of([0, 1])], engine="legacy")
 
     def test_empty_batch(self):
         net = build("omega", 16)
-        assert route_batch(net, [], engine="bitset") == []
+        assert route_batch(net, []) == []
 
 
 class TestConflictEquality:
@@ -160,16 +211,23 @@ class TestConflictEquality:
     def test_columnar_report_equals_counter_walk(self, topology, seed):
         net = build(topology, 16)
         workload = uniform_partition(16, load=0.9, seed=seed)
-        routes = [
-            o.unwrap() for o in route_batch(net, list(workload), engine="bitset")
-        ]
+        routes = [o.unwrap() for o in route_batch(net, list(workload))]
         columnar = analyze_conflicts_columnar(routes, net.n_stages, net.n_ports)
-        counter = analyze_conflicts(routes, n_stages=net.n_stages)
-        assert columnar == counter  # frozen dataclass: field-for-field
+        reference = counter_walk_report(routes, n_stages=net.n_stages)
+        assert columnar == reference  # frozen dataclass: field-for-field
+
+    @pytest.mark.parametrize("seed", [0, 9])
+    def test_analyze_conflicts_is_the_columnar_report(self, seed):
+        net = build("omega", 16)
+        workload = uniform_partition(16, load=0.9, seed=seed)
+        routes = [o.unwrap() for o in route_batch(net, list(workload))]
+        assert analyze_conflicts(routes) == counter_walk_report(routes)
 
     def test_empty_routes_need_explicit_stage_count(self):
         with pytest.raises(ValueError):
             analyze_conflicts_columnar([])
+        with pytest.raises(ValueError):
+            analyze_conflicts([])
         report = analyze_conflicts_columnar([], n_stages=4, n_rows=16)
         assert report.max_multiplicity == 0
         assert report.worst_link is None
@@ -203,7 +261,7 @@ class TestAdmissionBatchDifferential:
                 expected.append(("error", type(exc).__name__, exc.args))
 
         batched = self.controller()
-        outcomes = batched.try_join_batch(offered, engine="bitset")
+        outcomes = batched.try_join_batch(offered)
         got = []
         for outcome in outcomes:
             if outcome.ok:
@@ -217,32 +275,30 @@ class TestAdmissionBatchDifferential:
         for cid in batched.live_conferences:
             assert repr(batched.route_of(cid)) == repr(sequential.route_of(cid))
 
-    def test_engines_agree_end_to_end(self):
-        offered = self.offered(2)
-        via_bitset = self.controller().try_join_batch(offered, engine="bitset")
-        via_legacy = self.controller().try_join_batch(offered, engine="legacy")
-        for got, want in zip(via_bitset, via_legacy):
-            assert got.ok == want.ok
-            if got.ok:
-                assert repr(got.route) == repr(want.route)
-            elif got.denial is not None:
-                assert (got.denial.reason, got.denial.detail) == (
-                    want.denial.reason,
-                    want.denial.detail,
-                )
-            else:
-                assert got.error.args == want.error.args
-
 
 class TestHealingBatchDifferential:
-    def scenario(self, engine):
+    def scenario(self, batched=True):
         """A full fault/repair drill; returns every observable artifact."""
         network = ConferenceNetwork.build("extra-stage-cube", 16, dilation=16)
-        healing = SelfHealingController(network, rng=0, batch_engine=engine)
+        healing = SelfHealingController(network, rng=0)
         loop = EventLoop()
         log = []
-        outcomes = healing.try_join_batch(random_batch(16, ensure_rng(6), size=10))
-        log.append([(o.status, o.conference_id, o.reason) for o in outcomes])
+        offered = random_batch(16, ensure_rng(6), size=10)
+        if batched:
+            verdicts = [
+                (o.status, o.conference_id, o.reason)
+                for o in healing.try_join_batch(offered)
+            ]
+        else:
+            # Mirror the batch surface one submission at a time.
+            verdicts = []
+            for conf in offered:
+                try:
+                    healing.try_join(conf)
+                    verdicts.append(("admitted", conf.conference_id, None))
+                except AdmissionDenied as denial:
+                    verdicts.append(("lost", conf.conference_id, denial.reason))
+        log.append(verdicts)
         for point in [(1, 0), (2, 5), (3, 11)]:
             healing.apply_fault(loop, point)
             log.append(sorted(healing.degraded_conferences))
@@ -254,13 +310,13 @@ class TestHealingBatchDifferential:
         }
         return log, routes
 
-    def test_drill_is_engine_invariant(self):
-        assert self.scenario("bitset") == self.scenario("legacy")
+    def test_drill_is_batching_invariant(self):
+        assert self.scenario(batched=True) == self.scenario(batched=False)
 
-    def test_unknown_engine_rejected(self):
+    def test_batch_engine_parameter_is_gone(self):
         network = ConferenceNetwork.build("omega", 16)
-        with pytest.raises(ValueError, match="unknown batch engine"):
-            SelfHealingController(network, batch_engine="simd")
+        with pytest.raises(TypeError):
+            SelfHealingController(network, batch_engine="bitset")
 
 
 class TestNetworkFacade:

@@ -1,0 +1,112 @@
+"""The scrape endpoint: /metrics, /healthz and /slo over live HTTP."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import ExpositionServer, MetricsRegistry, SLOEvaluator
+from repro.obs.slo import BurnWindow, SLOSpec
+
+pytestmark = [pytest.mark.tier1, pytest.mark.parallel]
+
+
+def _get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=5.0) as resp:
+            return resp.status, resp.headers.get("Content-Type", ""), resp.read().decode()
+    except urllib.error.HTTPError as err:  # non-2xx still carries a body
+        return err.code, err.headers.get("Content-Type", ""), err.read().decode()
+
+
+@pytest.fixture()
+def stack():
+    registry = MetricsRegistry()
+    slo = SLOEvaluator(frame=5.0)
+    server = ExpositionServer(metrics=registry, slo=slo)  # port=0: OS picks
+    server.start()
+    yield registry, slo, server
+    server.stop()
+
+
+class TestEndpoints:
+    def test_metrics_serves_prometheus_text(self, stack):
+        registry, _, server = stack
+        registry.counter("repro_admissions_total", "admissions").inc(4, outcome="ok")
+        code, ctype, body = _get(server.url + "/metrics")
+        assert code == 200
+        assert ctype.startswith("text/plain")
+        assert body == registry.render_prometheus()
+        assert 'repro_admissions_total{outcome="ok"} 4' in body
+
+    def test_slo_serves_last_evaluation(self, stack):
+        _, slo, server = stack
+        slo.record("availability", good=10, now=0.0)
+        slo.evaluate(0.0)
+        code, ctype, body = _get(server.url + "/slo")
+        assert code == 200
+        assert ctype == "application/json"
+        assert json.loads(body) == slo.last
+
+    def test_healthz_ok_while_not_paging(self, stack):
+        _, _, server = stack
+        code, _, body = _get(server.url + "/healthz")
+        assert code == 200
+        assert json.loads(body) == {"slo_state": "ok", "status": "ok"}
+
+    def test_healthz_503_when_paging(self, stack):
+        _, slo, server = stack
+        slo.record("availability", bad=100, now=0.0)
+        slo.evaluate(0.0)
+        assert slo.state == "page"
+        code, _, body = _get(server.url + "/healthz")
+        assert code == 503
+        assert json.loads(body)["status"] == "failing"
+
+    def test_unknown_path_is_404(self, stack):
+        _, _, server = stack
+        code, _, _ = _get(server.url + "/nope")
+        assert code == 404
+
+    def test_query_strings_are_ignored(self, stack):
+        _, _, server = stack
+        code, _, _ = _get(server.url + "/healthz?probe=1")
+        assert code == 200
+
+
+class TestLifecycle:
+    def test_port_zero_resolves_to_bound_port(self, stack):
+        _, _, server = stack
+        assert server.port != 0
+        assert server.url == f"http://127.0.0.1:{server.port}"
+
+    def test_double_start_raises(self, stack):
+        _, _, server = stack
+        with pytest.raises(RuntimeError):
+            server.start()
+
+    def test_stop_is_idempotent(self):
+        server = ExpositionServer(metrics=MetricsRegistry())
+        server.start()
+        server.stop()
+        server.stop()
+
+    def test_context_manager_serves_and_stops(self):
+        with ExpositionServer(metrics=MetricsRegistry()) as server:
+            code, _, _ = _get(server.url + "/healthz")
+            assert code == 200
+            url = server.url
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(url + "/healthz", timeout=1.0)
+
+    def test_missing_registry_and_slo_404(self):
+        with ExpositionServer() as server:
+            code, _, _ = _get(server.url + "/metrics")
+            assert code == 404
+            code, _, body = _get(server.url + "/slo")
+            assert code == 404
+            assert "error" in json.loads(body)
+            # healthz still answers: liveness needs no attachments.
+            code, _, _ = _get(server.url + "/healthz")
+            assert code == 200

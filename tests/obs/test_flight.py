@@ -1,0 +1,176 @@
+"""Flight recorder: ring truncation, dump triggers, debounce, rotation."""
+
+import json
+
+import pytest
+
+from repro.obs import FlightRecorder, MetricsRegistry, SLOEvaluator, Tracer
+from repro.obs.slo import BurnWindow, SLOSpec
+
+pytestmark = [pytest.mark.tier1, pytest.mark.parallel]
+
+
+class TestRing:
+    def test_ring_truncates_oldest_first(self):
+        flight = FlightRecorder(capacity=4)
+        tracer = flight.watch(Tracer())
+        for i in range(10):
+            tracer.event("tick", t=float(i), i=i)
+        records = flight.records()
+        assert len(records) == 4
+        assert [r["i"] for r in records] == [6, 7, 8, 9]
+        assert flight.seen == 10
+        assert flight.truncated == 6
+
+    def test_capacity_one_keeps_only_newest(self):
+        flight = FlightRecorder(capacity=1)
+        tracer = flight.watch(Tracer())
+        tracer.event("a", t=0.0)
+        tracer.event("b", t=1.0)
+        assert [r["name"] for r in flight.records()] == ["b"]
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+        with pytest.raises(ValueError):
+            FlightRecorder(keep=0)
+
+    def test_watch_returns_the_tracer_for_chaining(self):
+        flight = FlightRecorder()
+        tracer = Tracer()
+        assert flight.watch(tracer) is tracer
+
+
+class TestDumpTriggers:
+    def test_fault_fail_event_dumps(self):
+        flight = FlightRecorder()
+        tracer = flight.watch(Tracer())
+        tracer.event("fault.fail", t=12.0, link="(1,2)->(2,3)")
+        assert flight.dumped == 1
+        assert flight.bundles[0]["reason"] == "fault.fail"
+
+    def test_auto_fault_dump_can_be_disabled(self):
+        flight = FlightRecorder(auto_fault_dump=False)
+        tracer = flight.watch(Tracer())
+        tracer.event("fault.fail", t=12.0)
+        assert flight.dumped == 0
+
+    def test_debounce_swallows_correlated_faults(self):
+        flight = FlightRecorder(min_gap=25.0)
+        tracer = flight.watch(Tracer())
+        for t in (10.0, 11.0, 12.0):  # one burst
+            tracer.event("fault.fail", t=t)
+        tracer.event("fault.fail", t=50.0)  # past the gap
+        assert flight.dumped == 2
+        assert flight.suppressed == 2
+
+    def test_force_overrides_debounce(self):
+        flight = FlightRecorder(min_gap=1000.0)
+        flight.dump(reason="first", now=0.0)
+        assert flight.dump(reason="manual", now=1.0, force=False) is None
+        flight.dump(reason="manual", now=1.0, force=True)
+        assert flight.dumped == 2
+        assert flight.suppressed == 1
+
+    def test_slo_breach_hook_dumps_with_reason(self):
+        spec = SLOSpec(
+            "availability",
+            objective=0.99,
+            windows=(BurnWindow(ticks=10.0, factor=1.0, severity="page"),),
+        )
+        slo = SLOEvaluator([spec], frame=5.0)
+        flight = FlightRecorder()
+        flight.attach_slo(slo)
+        slo.record("availability", bad=100, now=0.0)
+        slo.evaluate(0.0)
+        assert flight.dumped == 1
+        assert flight.bundles[0]["reason"] == "slo:availability"
+        # The breach record itself was ringed before the dump froze it.
+        types = [line["type"] for line in flight.bundles[0]["lines"]]
+        assert "breach" in types
+
+
+class TestBundles:
+    def test_in_memory_bundle_shape(self):
+        flight = FlightRecorder()
+        tracer = flight.watch(Tracer())
+        tracer.event("conference.submit", t=1.0, cid=7)
+        flight.dump(reason="manual", now=2.0, extra={"drill": True})
+        bundle = flight.bundles[0]
+        assert bundle["path"] is None
+        header = bundle["lines"][0]
+        assert header["type"] == "incident"
+        assert header["reason"] == "manual"
+        assert header["drill"] is True
+        assert header["records"] == 1
+        assert bundle["lines"][1]["name"] == "conference.submit"
+
+    def test_bundle_includes_last_slo_state(self):
+        slo = SLOEvaluator(frame=5.0)
+        slo.record("availability", good=10, now=0.0)
+        slo.evaluate(0.0)
+        flight = FlightRecorder()
+        flight.attach_slo(slo)
+        flight.dump(reason="manual", now=1.0)
+        tail = flight.bundles[0]["lines"][-1]
+        assert tail["type"] == "slo"
+        assert tail["state"] == "ok"
+
+    def test_disk_bundles_are_jsonl(self, tmp_path):
+        out = tmp_path / "incidents"
+        flight = FlightRecorder(out_dir=str(out))
+        tracer = flight.watch(Tracer())
+        tracer.event("fault.fail", t=5.0, link="x")
+        path = out / "incident-001.jsonl"
+        assert flight.bundles[0]["path"] == str(path)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0]["type"] == "incident"
+        assert lines[1]["name"] == "fault.fail"
+
+    def test_rotation_keeps_newest_bundles(self, tmp_path):
+        out = tmp_path / "incidents"
+        flight = FlightRecorder(out_dir=str(out), keep=2, min_gap=1.0)
+        for i in range(5):
+            flight.dump(reason=f"drill-{i}", now=float(i * 10))
+        names = sorted(p.name for p in out.iterdir())
+        assert names == ["incident-004.jsonl", "incident-005.jsonl"]
+        assert flight.dumped == 5
+
+
+class TestMetricSampling:
+    def test_counter_deltas_ring_only_on_movement(self):
+        registry = MetricsRegistry()
+        flight = FlightRecorder()
+        counter = registry.counter("repro_admissions_total", "admissions")
+        flight.sample_metrics(registry, now=0.0)  # baseline: nothing moved
+        assert flight.records() == []
+        counter.inc(3, outcome="admitted")
+        flight.sample_metrics(registry, now=1.0)
+        counter.inc(2, outcome="admitted")
+        flight.sample_metrics(registry, now=2.0)
+        flight.sample_metrics(registry, now=3.0)  # quiet tick rings nothing
+        records = flight.records()
+        assert [r["t"] for r in records] == [1.0, 2.0]
+        key = 'repro_admissions_total{outcome="admitted"}'
+        assert records[0]["deltas"] == {key: 3}
+        assert records[1]["deltas"] == {key: 2}
+
+    def test_gauges_and_histograms_are_not_sampled(self):
+        registry = MetricsRegistry()
+        flight = FlightRecorder()
+        registry.gauge("repro_depth", "d").set(9)
+        registry.histogram("repro_lat", "l").observe(1.0)
+        flight.sample_metrics(registry, now=0.0)
+        assert flight.records() == []
+
+    def test_note_slo_rings_compact_state(self):
+        slo = SLOEvaluator(frame=5.0)
+        status = slo.evaluate(0.0)
+        flight = FlightRecorder()
+        flight.note_slo(0.0, status)
+        (record,) = flight.records()
+        assert record["type"] == "slo"
+        assert record["state"] == "ok"
+        assert set(record["slos"]) == {
+            "admission_latency", "availability", "recovery", "shed_rate",
+        }

@@ -1,0 +1,199 @@
+"""Live health end-to-end: drills through serve and cluster.
+
+Three contracts the SLO engine makes at the system level:
+
+* **transparency** — a drill with the full stack attached (tracer, SLO
+  evaluator, flight recorder, live endpoint) produces a report *equal*
+  to the bare run of the same seed;
+* **detection** — a seeded fault drill drives the availability
+  objective into ``page`` with the burn windows actually firing, the
+  breach dumps incident bundles, and the live ``/slo`` endpoint serves
+  exactly that state;
+* **causality** — the cross-shard trace contexts make a cluster-level
+  open or failover and the shard-level work it caused read as one
+  parented chain, with every parent id resolving.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cluster.bench import run_cluster_bench
+from repro.core.healing import RetryPolicy
+from repro.obs import ExpositionServer, FlightRecorder, SLOEvaluator, Tracer
+from repro.serve.bench import run_serve_bench
+from repro.sim.faults import FaultProcessConfig
+
+pytestmark = [pytest.mark.tier1, pytest.mark.parallel]
+
+#: A drill that survivably loses links often enough to page availability.
+SERVE_DRILL = dict(
+    conferences=60,
+    seed=3,
+    arrival_rate=4.0,
+    mean_hold_ticks=20.0,
+    retry=RetryPolicy(max_retries=8, base_delay=1.0, max_delay=10.0),
+    fault_process=FaultProcessConfig(
+        mean_time_to_failure=400.0, mean_time_to_repair=5.0
+    ),
+)
+
+CLUSTER_DRILL = dict(
+    ports=16,
+    shards=2,
+    conferences=60,
+    seed=3,
+    arrival_rate=4.0,
+    kill_shard_at=12,
+)
+
+
+def _full_stack(**flight_kwargs):
+    tracer = Tracer()
+    slo = SLOEvaluator()
+    flight = FlightRecorder(**flight_kwargs)
+    flight.watch(tracer)
+    flight.attach_slo(slo)
+    return tracer, slo, flight
+
+
+class TestServeDrill:
+    @pytest.fixture(scope="class")
+    def drill(self):
+        tracer, slo, flight = _full_stack()
+        instrumented = run_serve_bench(
+            16, tracer=tracer, slo=slo, flight=flight, **SERVE_DRILL
+        )
+        bare = run_serve_bench(16, **SERVE_DRILL)
+        return bare, instrumented, tracer, slo, flight
+
+    def test_full_stack_is_transparent(self, drill):
+        bare, instrumented, tracer, _, _ = drill
+        assert instrumented == bare
+        assert tracer.emitted > 0  # differential is not vacuous
+
+    def test_fault_drill_pages_availability(self, drill):
+        _, _, _, slo, _ = drill
+        assert slo.state == "page"
+        status = slo.last["slos"]["availability"]
+        assert status["state"] == "page"
+        assert status["breaches"] >= 1
+        # The page came from a firing page-severity burn window with a
+        # burn rate actually past its factor — not a bookkeeping fluke.
+        firing = [w for w in status["windows"] if w["firing"]]
+        assert any(w["severity"] == "page" for w in firing)
+        for w in firing:
+            assert w["burn_rate"] >= w["factor"]
+
+    def test_breach_dumped_incident_bundles(self, drill):
+        _, _, _, _, flight = drill
+        assert flight.dumped >= 1
+        reasons = {b["reason"] for b in flight.bundles}
+        # Both triggers exist in this drill: link failures and the breach.
+        assert any(r == "fault.fail" for r in reasons)
+        types = {line["type"] for b in flight.bundles for line in b["lines"]}
+        assert {"incident", "event"} <= types
+
+    def test_endpoint_serves_the_paged_state(self, drill):
+        _, _, _, slo, _ = drill
+        with ExpositionServer(slo=slo) as server:
+            try:
+                with urllib.request.urlopen(server.url + "/slo", timeout=5.0) as r:
+                    body, code = r.read(), r.status
+            except urllib.error.HTTPError as err:
+                body, code = err.read(), err.code
+            assert code == 200
+            assert json.loads(body) == slo.last
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                urllib.request.urlopen(server.url + "/healthz", timeout=5.0)
+            assert exc.value.code == 503
+
+
+class TestClusterDrill:
+    @pytest.fixture(scope="class")
+    def drill(self):
+        tracer, slo, flight = _full_stack()
+        instrumented = run_cluster_bench(
+            tracer=tracer, slo=slo, flight=flight, **CLUSTER_DRILL
+        )
+        bare = run_cluster_bench(**CLUSTER_DRILL)
+        tracer.flush_open_spans()
+        return bare, instrumented, tracer, slo, flight
+
+    def test_full_stack_is_transparent(self, drill):
+        bare, instrumented, tracer, slo, _ = drill
+        assert instrumented.invariant() == bare.invariant()
+        assert instrumented == bare
+        assert tracer.emitted > 0
+        assert slo.last is not None
+
+    def test_every_parent_id_resolves(self, drill):
+        _, _, tracer, _, _ = drill
+        records = tracer.records()
+        sids = {r["sid"] for r in records if r.get("type") == "span"}
+        parented = [r for r in records if "parent" in r]
+        assert parented, "failover drill must produce parented records"
+        unresolved = [r for r in parented if r["parent"] not in sids]
+        assert unresolved == []
+
+    def test_causal_chains_cross_the_shard_boundary(self, drill):
+        """open -> place -> route and failover -> heal read as one trace."""
+        _, _, tracer, _, _ = drill
+        records = tracer.records()
+        spans = {r["sid"]: r for r in records if r.get("type") == "span"}
+        chains = {
+            (spans[r["parent"]]["name"], r["name"])
+            for r in records
+            if "parent" in r and r["parent"] in spans
+        }
+        # A cluster-level open parents the shard-level serve/admission
+        # work it caused — the cross-boundary half of the trace.
+        assert ("cluster.open", "serve.enqueue") in chains
+        assert ("cluster.open", "conference.submit") in chains
+        assert ("cluster.open", "admission.admit") in chains
+        # The kill drill's failover parents both the nested per-session
+        # moves and the re-homed admissions on the surviving shard.
+        assert ("cluster.failover", "cluster.failover") in chains
+        assert ("cluster.failover", "serve.enqueue") in chains
+        assert ("cluster.failover", "admission.admit") in chains
+
+    def test_killed_shard_is_reported(self, drill):
+        bare, instrumented, _, _, _ = drill
+        assert instrumented.killed_shard == bare.killed_shard is not None
+
+
+class TestIncidentBundleCausality:
+    def test_bundle_carries_cross_boundary_chain(self, tmp_path):
+        """A dumped incident is forensically useful: the bundle itself
+        contains parented spans whose parents are cluster-level spans,
+        so open -> place -> route -> heal can be read from the file."""
+        out = tmp_path / "incidents"
+        tracer, slo, flight = _full_stack(out_dir=str(out), capacity=16384)
+        run_cluster_bench(
+            tracer=tracer,
+            slo=slo,
+            flight=flight,
+            fault_process=FaultProcessConfig(
+                mean_time_to_failure=400.0, mean_time_to_repair=5.0
+            ),
+            **CLUSTER_DRILL,
+        )
+        assert flight.dumped >= 1
+        paths = sorted(out.glob("incident-*.jsonl"))
+        assert paths
+        lines = [
+            json.loads(line)
+            for path in paths
+            for line in path.read_text().splitlines()
+        ]
+        assert lines[0]["type"] == "incident"
+        spans = {r["sid"]: r for r in lines if r.get("type") == "span"}
+        cluster_parents = {
+            spans[r["parent"]]["name"]
+            for r in lines
+            if "parent" in r and r["parent"] in spans
+            and spans[r["parent"]]["name"].startswith("cluster.")
+        }
+        assert cluster_parents  # the bundle shows who caused the work

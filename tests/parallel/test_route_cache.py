@@ -316,9 +316,11 @@ class TestBatchPriming:
         with pytest.raises(ValueError):
             cache.route(Conference.of([0, 99]))
 
-    def test_prime_engines_agree(self):
+    def test_primed_route_matches_lookup_route(self):
         conference = Conference.of([1, 2, 6])
-        via_bitset, via_legacy = RouteCache(NET), RouteCache(NET)
-        via_bitset.prime([conference], engine="bitset")
-        via_legacy.prime([conference], engine="legacy")
-        assert repr(via_bitset.route(conference)) == repr(via_legacy.route(conference))
+        primed, lazy = RouteCache(NET), RouteCache(NET)
+        primed.prime([conference])
+        # A route resolved by the columnar priming pass is byte-identical
+        # to the one a cold per-object lookup computes.
+        assert repr(primed.route(conference)) == repr(lazy.route(conference))
+        assert primed.stats.misses == 0
