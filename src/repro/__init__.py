@@ -30,7 +30,7 @@ import warnings
 
 from repro import api
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 #: Pre-1.1 top-level names that are no longer part of the stable
 #: surface: legacy name -> (home module, attribute).  Accessing them via

@@ -35,6 +35,16 @@ from repro.core.admission import (
     BatchAdmissionOutcome,
 )
 from repro.core.batch import BatchRouteOutcome, route_batch
+from repro.core.churn import (
+    ChurnLimitExceeded,
+    ChurnPolicy,
+    ChurnResult,
+    apply_churn,
+    extend_route,
+    join_member,
+    leave_member,
+    prune_route,
+)
 from repro.core.conference import Conference, ConferenceSet
 from repro.core.conflict import ConflictReport, analyze_conflicts
 from repro.core.healing import RetryPolicy, SelfHealingController, SubmitOutcome
@@ -79,10 +89,18 @@ from repro.sim.faults import (
 from repro.switching.fabric import CapacityExceeded, DeliveryReport, Fabric
 from repro.topology.builders import PAPER_TOPOLOGIES, TOPOLOGY_BUILDERS, build
 from repro.topology.network import MultistageNetwork
+from repro.workloads.churn import (
+    ChurnEvent,
+    diurnal_load,
+    flash_crowd,
+    lurker_joins,
+    replay_churn,
+    zipf_sizes,
+)
 
 #: Version of the public surface (bumped on any additive change; the
 #: library version tracks releases, this tracks the API contract).
-API_VERSION = "1.5"
+API_VERSION = "1.6"
 
 
 @runtime_checkable
@@ -134,6 +152,22 @@ __all__ = [
     "route_batch",
     "BatchRouteOutcome",
     "BatchAdmissionOutcome",
+    # incremental membership churn
+    "ChurnLimitExceeded",
+    "ChurnPolicy",
+    "ChurnResult",
+    "apply_churn",
+    "extend_route",
+    "prune_route",
+    "join_member",
+    "leave_member",
+    # churn workload timelines
+    "ChurnEvent",
+    "flash_crowd",
+    "diurnal_load",
+    "lurker_joins",
+    "zipf_sizes",
+    "replay_churn",
     # switching fabric
     "Fabric",
     "DeliveryReport",

@@ -46,6 +46,7 @@ from repro.analysis.resilience import (
     retry_ablation,
     survivability,
 )
+from repro.core.churn import ChurnPolicy
 from repro.core.healing import RetryPolicy
 from repro.analysis.scheduling import schedule_slots
 from repro.analysis.theory import stage_profile_law
@@ -97,6 +98,32 @@ def _add_telemetry_flags(cmd: argparse.ArgumentParser) -> None:
         "--metrics-out",
         metavar="PATH",
         help="write collected metrics (Prometheus text; JSON when PATH ends in .json)",
+    )
+
+
+def _add_churn_flags(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--churn",
+        default="incremental",
+        choices=("incremental", "full"),
+        help="membership-change engine: grow/shrink routes in place "
+        "(incremental) or recompute from scratch on every change (full)",
+    )
+    cmd.add_argument(
+        "--drift-limit",
+        type=int,
+        default=None,
+        metavar="LINKS",
+        help="conflict-multiplicity drift (extra links vs a from-scratch "
+        "route) above which an incremental change falls back to a full "
+        "reroute (default: never)",
+    )
+
+
+def _churn_policy(args: argparse.Namespace) -> ChurnPolicy:
+    return ChurnPolicy(
+        incremental=args.churn == "incremental",
+        drift_limit=args.drift_limit,
     )
 
 
@@ -396,6 +423,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--max-batch", type=int, default=64)
     serve.add_argument("--json", metavar="PATH", help="write every response as JSON (shared result schema)")
+    _add_churn_flags(serve)
     _add_telemetry_flags(serve)
     _add_live_obs_flags(serve)
 
@@ -435,6 +463,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--route-cache", action="store_true", help="memoize routing through a RouteCache"
     )
     bench_serve.add_argument("--json", metavar="PATH", help="write the report as JSON (shared result schema)")
+    _add_churn_flags(bench_serve)
     _add_telemetry_flags(bench_serve)
     _add_live_obs_flags(bench_serve)
 
@@ -472,6 +501,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster.add_argument("--migration-budget", type=int, default=8, help="moves started per tick")
     cluster.add_argument("--json", metavar="PATH", help="write the report as JSON (shared result schema)")
+    _add_churn_flags(cluster)
     _add_telemetry_flags(cluster)
     _add_live_obs_flags(cluster)
 
@@ -512,6 +542,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the shard-count-invariant metrics as JSON (byte-identical "
         "for a fixed seed across shard counts; the determinism CI job cmp's these)",
     )
+    _add_churn_flags(bench_cluster)
     _add_telemetry_flags(bench_cluster)
     _add_live_obs_flags(bench_cluster)
 
@@ -881,6 +912,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_capacity=args.queue_capacity,
         shed_policy=args.shed_policy,
         max_batch=args.max_batch,
+        churn=_churn_policy(args),
     )
     workload = uniform_partition(args.ports, load=args.load, seed=args.seed)
 
@@ -971,6 +1003,7 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         queue_capacity=args.queue_capacity,
         shed_policy=args.shed_policy,
         max_batch=args.max_batch,
+        churn=_churn_policy(args),
         retry=retry,
         fault_process=process,
         route_cache=cache,
@@ -1042,6 +1075,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         arrival_rate=args.arrival_rate,
         mean_hold_ticks=args.mean_hold,
         resize_prob=args.resize_prob,
+        churn=_churn_policy(args),
         retry=retry,
         migration_budget=args.migration_budget,
         fault_process=process,
@@ -1126,6 +1160,7 @@ def _cmd_bench_cluster(args: argparse.Namespace) -> int:
         queue_capacity=args.queue_capacity,
         shed_policy=args.shed_policy,
         max_batch=args.max_batch,
+        churn=_churn_policy(args),
         retry=retry,
         migration_budget=args.migration_budget,
         protection=args.protection,

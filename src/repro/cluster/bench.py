@@ -44,6 +44,7 @@ from repro.util.rng import ensure_rng
 from repro.util.validation import check_positive
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.core.churn import ChurnPolicy
     from repro.core.healing import RetryPolicy
     from repro.obs.flight import FlightRecorder
     from repro.obs.metrics import MetricsRegistry
@@ -215,6 +216,7 @@ def run_cluster_bench(
     queue_capacity: int = 256,
     shed_policy: "ShedPolicy | str" = ShedPolicy.REJECT_NEWEST,
     max_batch: int = 256,
+    churn: "ChurnPolicy | None" = None,
     retry: "RetryPolicy | None" = None,
     migration_budget: int = 8,
     fault_process: "FaultProcessConfig | None" = None,
@@ -274,6 +276,7 @@ def run_cluster_bench(
         shed_policy=shed_policy,
         max_batch=max_batch,
         migration_budget=migration_budget,
+        churn=churn,
     )
     injectors = []
     if fault_process is not None:

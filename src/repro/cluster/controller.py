@@ -44,6 +44,7 @@ from typing import TYPE_CHECKING, Any, Callable
 from repro.cluster.directory import DirectoryEntry, EntryState, SessionDirectory
 from repro.cluster.placement import place_shard, rank_shards
 from repro.cluster.rebalance import MigrationQueue, Move, RebalancePlan, plan_rebalance
+from repro.core.churn import ChurnPolicy
 from repro.serve.backpressure import ShedPolicy
 from repro.serve.protocol import Priority, RequestKind, ServiceResponse
 from repro.serve.service import FabricService
@@ -189,6 +190,7 @@ class ClusterService:
         rng: "int | np.random.Generator | None" = None,
         route_cache: "RouteCache | None" = None,
         protection: int = 0,
+        churn: "ChurnPolicy | None" = None,
         tracer: "Tracer | None" = None,
         metrics: "MetricsRegistry | None" = None,
         slo: "SLOEvaluator | None" = None,
@@ -205,6 +207,7 @@ class ClusterService:
         self._rng = ensure_rng(rng)
         self._route_cache = route_cache
         self._protection = protection
+        self._churn = churn
         self.tracer = tracer
         self._metrics = metrics
         # Cluster-level live health (see repro.obs.slo / repro.obs.flight).
@@ -281,6 +284,11 @@ class ClusterService:
         return self._protection
 
     @property
+    def churn_policy(self) -> "ChurnPolicy":
+        """The membership-churn policy applied uniformly to every shard."""
+        return self._churn if self._churn is not None else ChurnPolicy()
+
+    @property
     def slo(self) -> "SLOEvaluator | None":
         """The attached cluster-level SLO evaluator, or ``None``."""
         return self._slo
@@ -339,6 +347,7 @@ class ClusterService:
             rng=shard_rng,
             route_cache=self._route_cache,
             protection=self._protection,
+            churn=self._churn,
             tracer=self.tracer,
             metrics=None,  # see module docstring: cluster owns the registry
             queue_capacity=self._queue_capacity,

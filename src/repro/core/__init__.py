@@ -6,7 +6,16 @@ from repro.core.admission import (
     BuddyAllocator,
     place_aligned,
 )
-from repro.core.churn import ChurnResult, apply_churn, join_member, leave_member
+from repro.core.churn import (
+    ChurnLimitExceeded,
+    ChurnPolicy,
+    ChurnResult,
+    apply_churn,
+    extend_route,
+    join_member,
+    leave_member,
+    prune_route,
+)
 from repro.core.conference import Conference, ConferenceSet
 from repro.core.conflict import ConflictReport, analyze_conflicts, link_loads
 from repro.core.groupcast import GroupConnection, GroupRoute, route_group
@@ -26,6 +35,8 @@ __all__ = [
     "AdmissionController",
     "AdmissionDenied",
     "BuddyAllocator",
+    "ChurnLimitExceeded",
+    "ChurnPolicy",
     "ChurnResult",
     "Conference",
     "ConferenceNetwork",
@@ -45,8 +56,10 @@ __all__ = [
     "apply_churn",
     "combine_at_level",
     "delivered_members",
+    "extend_route",
     "join_member",
     "leave_member",
+    "prune_route",
     "link_loads",
     "place_aligned",
     "route_conference",

@@ -22,6 +22,10 @@ from __future__ import annotations
 from collections import Counter
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.core.churn import ChurnResult
 
 from repro.core.batch import route_batch
 from repro.core.conference import Conference, ConferenceSet
@@ -368,6 +372,57 @@ class AdmissionController:
                 released=len(old.links - new_route.links),
             )
         return new_route
+
+    def apply_churn(self, churn: "ChurnResult") -> Route:
+        """Apply a membership change as a delta against the ledger.
+
+        Unlike :meth:`replace_route`, which re-books the whole route,
+        only the exact ``links_added``/``links_removed`` diff touches
+        the ledger — a hitless in-block join charges nothing but its
+        graft.  Capacity is checked on the added links alone; on
+        :class:`AdmissionDenied` the ledger is untouched and the old
+        route stays live.  The result must have been computed against
+        the currently live route (otherwise the diff is stale).
+        """
+        cid = churn.after.conference.conference_id
+        old = self.route_of(cid)
+        if old is not churn.before and (
+            old.links != churn.before.links or old.taps != churn.before.taps
+        ):
+            raise ValueError(
+                f"stale churn result for conference {cid}: "
+                "not computed against the live route"
+            )
+        joined = churn.after.conference.member_set - old.conference.member_set
+        clash = (self._ports_in_use - old.conference.member_set) & joined
+        if clash:
+            self._trace_deny(cid, "ports")
+            raise AdmissionDenied("ports", f"ports {sorted(clash)} already in a conference")
+        cap = self._network.dilation
+        for link in churn.links_added:
+            if self._loads[link] + 1 > cap:
+                self._trace_deny(cid, "capacity")
+                raise AdmissionDenied(
+                    "capacity", f"link {link} at load {self._loads[link]}/{cap}"
+                )
+        self._loads.update(churn.links_added)
+        self._loads.subtract(churn.links_removed)
+        self._loads += Counter()  # drop zero/negative entries
+        self._routes[cid] = churn.after
+        self._ports_in_use.difference_update(
+            old.conference.member_set - churn.after.conference.member_set
+        )
+        self._ports_in_use.update(joined)
+        if self.tracer is not None:
+            self.tracer.event(
+                "admission.churn",
+                cid=cid,
+                mode=churn.mode,
+                added=len(churn.links_added),
+                released=len(churn.links_removed),
+                hitless=churn.hitless,
+            )
+        return churn.after
 
     def leave(self, conference_id: int) -> None:
         """Tear down a live conference, releasing its links."""

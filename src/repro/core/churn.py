@@ -1,27 +1,111 @@
 """Member churn: people joining and leaving a live conference.
 
 Teleconferences are not static — members dial in and drop off while the
-call runs.  This module reroutes a conference across a membership change
-and reports the *disruption*: which links must be torn down or newly
-claimed, and whether continuing members' output taps move (a moved tap
-is an audible glitch and a mux reprogram; an unmoved tap is hitless).
+call runs.  This module grows and shrinks a live route *incrementally*
+(:func:`extend_route` / :func:`prune_route`) and reports the
+*disruption*: which links must be torn down or newly claimed, and
+whether continuing members' output taps move (a moved tap is an audible
+glitch and a mux reprogram; an unmoved tap is hitless).
 
-Key structural fact this exposes: on the indirect binary cube a join
-that stays inside the current enclosing block is hitless for everyone
-(taps stay at level ``K``), while a join that grows the block moves
-*every* member's tap — the cost of the cube's otherwise-ideal block
-locality.
+Incremental vs full semantics
+-----------------------------
+
+:func:`extend_route` re-sweeps forward reachability for the enlarged
+member set but *pins* every continuing member's current tap, keeping it
+whenever the full new combination still arrives there.  On the indirect
+binary cube an in-block join therefore stays hitless for everyone (taps
+stay at the block's level ``K``) and the old tree is reused as a
+subtree; only a join that grows the enclosing block moves taps.  Pins
+also preserve fault-era tap choices, so a long-extended route can hold
+more links than a fresh routing of the same members would — that
+surplus is reported as ``drift_links`` (the extra links are extra
+conflict opportunities against other conferences, hence
+"conflict-multiplicity drift"), and ``drift_limit`` demotes the change
+to a full re-route-from-scratch when it grows past the knob.
+
+:func:`prune_route` re-taps every survivor at the earliest level where
+the remaining combination is complete, releasing the links that served
+only the leaver (and reclaiming depth the leaver forced).  An in-block
+leave keeps every tap in place; shrinking below the natural route is
+how ``prune_route(extend_route(r, p), p)`` restores ``r`` exactly.
+
+Either way the :class:`ChurnResult` diff is *exact*: a delta-aware
+fabric reprograms only ``links_added | links_removed`` links, whereas a
+full reroute reinstalls the whole tree (every link of the old and new
+routes is touched — see :attr:`ChurnResult.links_touched`).  Full
+reroute remains available as :func:`apply_churn` and is the explicit
+fallback when an incremental step would exceed ``max_taps_moved`` or
+``drift_limit``.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.core.conference import Conference
-from repro.core.routing import Route, RoutingPolicy, route_conference
+from repro.core.routing import (
+    Route,
+    RoutingPolicy,
+    route_conference,
+    _backward_mark,
+    _carried_masks,
+    _forward_masks,
+    _select_taps,
+)
 from repro.topology.network import MultistageNetwork, Point
 
-__all__ = ["ChurnResult", "apply_churn", "join_member", "leave_member"]
+__all__ = [
+    "ChurnLimitExceeded",
+    "ChurnPolicy",
+    "ChurnResult",
+    "apply_churn",
+    "extend_route",
+    "join_member",
+    "leave_member",
+    "prune_route",
+]
+
+
+class ChurnLimitExceeded(RuntimeError):
+    """An incremental step violated a churn limit and ``fallback="raise"``.
+
+    Raised instead of silently rerouting when the caller asked for hard
+    limits (``max_taps_moved`` / ``drift_limit``) with no fallback; the
+    ``reason`` attribute carries the machine-readable trigger.
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class ChurnPolicy:
+    """How the service layer applies membership changes.
+
+    ``incremental`` routes joins/leaves through
+    :func:`extend_route`/:func:`prune_route`; when false every change is
+    a full reroute (the pre-1.6 behavior, kept as an ablation arm).
+    ``max_taps_moved`` and ``drift_limit`` demote an incremental step to
+    the ``fallback`` (``"reroute"`` or ``"raise"``) when it would move
+    more taps than allowed or leave the route holding more than
+    ``drift_limit`` surplus links over a fresh routing.
+    """
+
+    incremental: bool = True
+    max_taps_moved: "int | None" = None
+    drift_limit: "int | None" = None
+    fallback: str = "reroute"
+
+    def __post_init__(self) -> None:
+        if self.fallback not in ("reroute", "raise"):
+            raise ValueError(f"unknown churn fallback {self.fallback!r}")
+        if self.max_taps_moved is not None and self.max_taps_moved < 0:
+            raise ValueError("max_taps_moved must be >= 0")
+        if self.drift_limit is not None and self.drift_limit < 0:
+            raise ValueError("drift_limit must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -30,7 +114,11 @@ class ChurnResult:
 
     ``links_added``/``links_removed`` are the fabric reconfiguration;
     ``taps_moved`` maps each continuing member whose mux selection
-    changed to its (old level, new level) pair.
+    changed to its (old level, new level) pair.  ``mode`` says how the
+    change was computed (``"incremental"`` or ``"full-reroute"``),
+    ``drift_links`` how many surplus links the result holds over a
+    fresh routing of the same members, and ``fallback_reason`` why an
+    incremental step was demoted (``None`` when it was not).
     """
 
     before: Route
@@ -38,6 +126,9 @@ class ChurnResult:
     links_added: frozenset[Point]
     links_removed: frozenset[Point]
     taps_moved: dict[int, tuple[int, int]]
+    mode: str = "incremental"
+    drift_links: int = 0
+    fallback_reason: "str | None" = None
 
     @property
     def hitless(self) -> bool:
@@ -46,60 +137,354 @@ class ChurnResult:
 
     @property
     def reconfigured_links(self) -> int:
-        """Total links touched by the change."""
+        """Size of the exact diff (links added plus links removed)."""
         return len(self.links_added) + len(self.links_removed)
+
+    @property
+    def links_touched(self) -> int:
+        """Links the fabric must reprogram to apply this change.
+
+        An incremental change touches exactly the diff; a full reroute
+        reinstalls the whole tree, touching every link of the old and
+        new routes even where they coincide.
+        """
+        if self.mode == "incremental":
+            return self.reconfigured_links
+        return len(self.before.links | self.after.links)
+
+    # -- Result protocol -------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        """A constructed churn result always describes an applied change."""
+        return True
+
+    @property
+    def reason(self) -> "str | None":
+        return None
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (the routes themselves are elided)."""
+        return {
+            "kind": "churn",
+            "ok": True,
+            "reason": None,
+            "conference_id": self.after.conference.conference_id,
+            "mode": self.mode,
+            "hitless": self.hitless,
+            "links_added": len(self.links_added),
+            "links_removed": len(self.links_removed),
+            "links_touched": self.links_touched,
+            "taps_moved": len(self.taps_moved),
+            "drift_links": self.drift_links,
+            "fallback_reason": self.fallback_reason,
+            "members": len(self.after.conference.members),
+            "depth": self.after.depth,
+        }
+
+
+def _ports_tuple(port_or_ports: "int | Iterable[int]") -> tuple[int, ...]:
+    """Normalize a single port or an iterable of ports to a sorted tuple."""
+    if isinstance(port_or_ports, int):
+        return (port_or_ports,)
+    ports = tuple(sorted(set(port_or_ports)))
+    if not ports:
+        raise ValueError("no ports given")
+    return ports
+
+
+def _diff(
+    before: Route,
+    after: Route,
+    *,
+    mode: str,
+    drift_links: int = 0,
+    fallback_reason: "str | None" = None,
+) -> ChurnResult:
+    """Assemble the exact change set between two routes of one call."""
+    continuing = set(before.conference.members) & set(after.conference.members)
+    taps_moved = {
+        port: (before.taps[port], after.taps[port])
+        for port in sorted(continuing)
+        if before.taps[port] != after.taps[port]
+    }
+    return ChurnResult(
+        before=before,
+        after=after,
+        links_added=after.links - before.links,
+        links_removed=before.links - after.links,
+        taps_moved=taps_moved,
+        mode=mode,
+        drift_links=drift_links,
+        fallback_reason=fallback_reason,
+    )
+
+
+def _pinned_route(
+    net: MultistageNetwork,
+    conference: Conference,
+    pins: dict[int, int],
+    policy: RoutingPolicy,
+    dead: frozenset,
+) -> tuple[Route, int]:
+    """Route ``conference`` keeping each pinned tap that still works.
+
+    A pin survives when the *full* new combination is forward-reachable
+    at the pinned point; everyone else (and every new member) taps at
+    the natural earliest level.  Returns the route and its drift: how
+    many more links it holds than the natural (unpinned) routing of the
+    same members under the same faults.
+    """
+    forward = _forward_masks(net, conference, dead)
+    natural = _select_taps(forward, conference, policy, net.n_stages)
+    full = conference.full_mask
+    taps: dict[int, int] = {}
+    for port in conference.members:
+        pin = pins.get(port)
+        if (
+            pin is not None
+            and pin != natural[port]
+            and forward[pin].get(port, 0) == full
+        ):
+            taps[port] = pin
+        else:
+            taps[port] = natural[port]
+    marked = _backward_mark(net, taps, net.n_stages, dead)
+    levels = [
+        {row: mask for row, mask in forward[t].items() if row in marked[t]}
+        for t in range(net.n_stages + 1)
+    ]
+    levels = _carried_masks(net, conference, levels)
+    route = Route(
+        conference=conference,
+        n_ports=net.n_ports,
+        n_stages=net.n_stages,
+        levels=tuple(levels),
+        taps=taps,
+    )
+    bad = {port for port, t in taps.items() if route.mask_at(t, port) != full}
+    if bad:
+        raise AssertionError(
+            f"churn invariant violated: taps {sorted(bad)} missing members "
+            f"(topology {net.name})"
+        )
+    drift = 0
+    if taps != natural:
+        # Natural-route link count without building the route: within the
+        # backward-marked region the carried mask equals the forward mask,
+        # so forward ∧ marked counts it exactly.
+        nat_marked = _backward_mark(net, natural, net.n_stages, dead)
+        nat_links = sum(
+            1
+            for t in range(1, net.n_stages + 1)
+            for row in forward[t]
+            if row in nat_marked[t]
+        )
+        drift = route.n_links - nat_links
+    return route, drift
+
+
+def _checked(
+    net: MultistageNetwork,
+    route: Route,
+    members: "tuple[int, ...]",
+    policy: RoutingPolicy,
+    faults: "frozenset | None",
+    result: ChurnResult,
+    max_taps_moved: "int | None",
+    drift_limit: "int | None",
+    fallback: str,
+) -> ChurnResult:
+    """Enforce churn limits, demoting to the fallback when violated."""
+    trigger = None
+    if max_taps_moved is not None and len(result.taps_moved) > max_taps_moved:
+        trigger = f"taps-moved:{len(result.taps_moved)}>{max_taps_moved}"
+    elif drift_limit is not None and result.drift_links > drift_limit:
+        trigger = f"drift:{result.drift_links}>{drift_limit}"
+    if trigger is None:
+        return result
+    if fallback == "raise":
+        raise ChurnLimitExceeded(trigger)
+    if fallback != "reroute":
+        raise ValueError(f"unknown churn fallback {fallback!r}")
+    return _full_reroute(net, route, members, policy, faults, reason=trigger)
+
+
+def _full_reroute(
+    net: MultistageNetwork,
+    route: Route,
+    new_members: "tuple[int, ...] | list[int]",
+    policy: "RoutingPolicy | None",
+    faults: "frozenset | None",
+    reason: "str | None" = None,
+) -> ChurnResult:
+    """Reroute the whole conference from scratch and diff against the old."""
+    new_conf = Conference.of(new_members, conference_id=route.conference.conference_id)
+    after = route_conference(net, new_conf, policy, faults)
+    return _diff(route, after, mode="full-reroute", fallback_reason=reason)
+
+
+_warned_positional_policy = False
 
 
 def apply_churn(
     net: MultistageNetwork,
     route: Route,
     new_members: "tuple[int, ...] | list[int]",
+    *args,
     policy: "RoutingPolicy | None" = None,
+    faults: "frozenset | None" = None,
 ) -> ChurnResult:
-    """Reroute ``route``'s conference with a new member tuple.
+    """Reroute ``route``'s conference from scratch with a new member tuple.
 
     The conference id is preserved; ``new_members`` must be non-empty.
-    Returns the change set relative to the old route.
+    Returns the change set relative to the old route, with
+    ``mode="full-reroute"`` (the whole tree is reinstalled — prefer
+    :func:`extend_route`/:func:`prune_route` for delta-only changes).
+
+    .. deprecated:: 1.6
+        passing ``policy`` positionally; use ``policy=`` instead.
     """
-    new_conf = Conference.of(new_members, conference_id=route.conference.conference_id)
-    after = route_conference(net, new_conf, policy)
-    continuing = set(route.conference.members) & set(new_conf.members)
-    taps_moved = {
-        port: (route.taps[port], after.taps[port])
-        for port in sorted(continuing)
-        if route.taps[port] != after.taps[port]
-    }
-    return ChurnResult(
-        before=route,
-        after=after,
-        links_added=after.links - route.links,
-        links_removed=route.links - after.links,
-        taps_moved=taps_moved,
+    if args:
+        global _warned_positional_policy
+        if len(args) > 1 or policy is not None:
+            raise TypeError("apply_churn takes at most a keyword-only policy")
+        if not _warned_positional_policy:
+            _warned_positional_policy = True
+            warnings.warn(
+                "passing policy positionally to apply_churn is deprecated; "
+                "use apply_churn(net, route, members, policy=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        policy = args[0]
+    return _full_reroute(net, route, new_members, policy, faults)
+
+
+def extend_route(
+    net: MultistageNetwork,
+    route: Route,
+    port: "int | Iterable[int]",
+    *,
+    policy: "RoutingPolicy | None" = None,
+    faults: "frozenset | None" = None,
+    max_taps_moved: "int | None" = None,
+    drift_limit: "int | None" = None,
+    fallback: str = "reroute",
+) -> ChurnResult:
+    """Grow a live route in place to include the joining port(s).
+
+    Claims only the links needed to reach the newcomers and to carry
+    their signal into the existing tree: continuing members keep their
+    current tap whenever the full new combination still arrives there
+    (always true for in-block joins on the cube, which are therefore
+    hitless and purely additive).  Falls back to a full reroute — or
+    raises :class:`ChurnLimitExceeded` with ``fallback="raise"`` — when
+    the step would move more than ``max_taps_moved`` taps or accrue
+    more than ``drift_limit`` surplus links.
+    """
+    policy = policy or RoutingPolicy()
+    ports = _ports_tuple(port)
+    conference = route.conference
+    for p in ports:
+        if p in conference.member_set:
+            raise ValueError(f"port {p} is already a member")
+    members = tuple(sorted(conference.members + ports))
+    if members[-1] >= net.n_ports:
+        raise ValueError(
+            f"conference member {members[-1]} out of range for "
+            f"{net.n_ports}-port network"
+        )
+    if policy.prune:
+        # The greedy-pruning ablation has no incremental form: pruned
+        # regions are not pin-stable, so churn on them is a reroute.
+        return _full_reroute(net, route, members, policy, faults, reason="prune-policy")
+    dead = frozenset(faults) if faults else frozenset()
+    new_conf = Conference.of(members, conference_id=conference.conference_id)
+    after, drift = _pinned_route(net, new_conf, dict(route.taps), policy, dead)
+    result = _diff(route, after, mode="incremental", drift_links=drift)
+    return _checked(
+        net, route, members, policy, faults, result,
+        max_taps_moved, drift_limit, fallback,
+    )
+
+
+def prune_route(
+    net: MultistageNetwork,
+    route: Route,
+    port: "int | Iterable[int]",
+    *,
+    policy: "RoutingPolicy | None" = None,
+    faults: "frozenset | None" = None,
+    max_taps_moved: "int | None" = None,
+    drift_limit: "int | None" = None,
+    fallback: str = "reroute",
+) -> ChurnResult:
+    """Shrink a live route in place, dropping the leaving port(s).
+
+    Releases the links that served only the leavers and re-taps each
+    survivor at the earliest level where the remaining combination is
+    complete — reclaiming any depth the leaver forced, which is what
+    makes ``prune_route(extend_route(r, p), p)`` restore ``r`` exactly.
+    An in-block leave keeps every surviving tap in place (hitless).
+    The change is applied as a delta; limits behave as in
+    :func:`extend_route`.
+    """
+    policy = policy or RoutingPolicy()
+    ports = _ports_tuple(port)
+    conference = route.conference
+    for p in ports:
+        if p not in conference.member_set:
+            raise ValueError(f"port {p} is not a member")
+    remaining = tuple(m for m in conference.members if m not in set(ports))
+    if not remaining:
+        raise ValueError("cannot remove the last member; tear the conference down instead")
+    if policy.prune:
+        return _full_reroute(net, route, remaining, policy, faults, reason="prune-policy")
+    dead = frozenset(faults) if faults else frozenset()
+    new_conf = Conference.of(remaining, conference_id=conference.conference_id)
+    # No pins: survivors re-tap naturally, so drift never survives a leave.
+    after, drift = _pinned_route(net, new_conf, {}, policy, dead)
+    result = _diff(route, after, mode="incremental", drift_links=drift)
+    return _checked(
+        net, route, remaining, policy, faults, result,
+        max_taps_moved, drift_limit, fallback,
     )
 
 
 def join_member(
     net: MultistageNetwork,
     route: Route,
-    port: int,
+    port: "int | Iterable[int]",
+    *,
     policy: "RoutingPolicy | None" = None,
+    faults: "frozenset | None" = None,
+    max_taps_moved: "int | None" = None,
+    drift_limit: "int | None" = None,
+    fallback: str = "reroute",
 ) -> ChurnResult:
-    """Add one member to a live conference."""
-    if port in route.conference.members:
-        raise ValueError(f"port {port} is already a member")
-    return apply_churn(net, route, route.conference.members + (port,), policy)
+    """Add member(s) to a live conference through the incremental path."""
+    return extend_route(
+        net, route, port,
+        policy=policy, faults=faults,
+        max_taps_moved=max_taps_moved, drift_limit=drift_limit, fallback=fallback,
+    )
 
 
 def leave_member(
     net: MultistageNetwork,
     route: Route,
-    port: int,
+    port: "int | Iterable[int]",
+    *,
     policy: "RoutingPolicy | None" = None,
+    faults: "frozenset | None" = None,
+    max_taps_moved: "int | None" = None,
+    drift_limit: "int | None" = None,
+    fallback: str = "reroute",
 ) -> ChurnResult:
-    """Remove one member from a live conference (at least one must stay)."""
-    remaining = tuple(m for m in route.conference.members if m != port)
-    if len(remaining) == len(route.conference.members):
-        raise ValueError(f"port {port} is not a member")
-    if not remaining:
-        raise ValueError("cannot remove the last member; tear the conference down instead")
-    return apply_churn(net, route, remaining, policy)
+    """Remove member(s) from a live conference (at least one must stay)."""
+    return prune_route(
+        net, route, port,
+        policy=policy, faults=faults,
+        max_taps_moved=max_taps_moved, drift_limit=drift_limit, fallback=fallback,
+    )

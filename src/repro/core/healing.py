@@ -48,6 +48,13 @@ from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.admission import AdmissionController, AdmissionDenied
 from repro.core.batch import route_batch
+from repro.core.churn import (
+    ChurnPolicy,
+    ChurnResult,
+    _diff,
+    extend_route,
+    prune_route,
+)
 from repro.core.conference import Conference, ConferenceSet
 from repro.core.network import ConferenceNetwork
 from repro.core.routing import Route, UnroutableError
@@ -159,6 +166,7 @@ _COUNTER_HELP = {
     "repro_retries_total": "Retry queue activity by outcome",
     "repro_fault_transitions_total": "Fault transitions handled, by kind",
     "repro_heals_total": "Degradation-ladder actions taken, by action",
+    "repro_churn_total": "Membership churn operations applied, by mode",
     "repro_drops_total": "Live conferences dropped, by cause",
     "repro_protect_plans_total": "Backup-plan failover lookups, by outcome",
 }
@@ -203,6 +211,14 @@ class SelfHealingController:
     ``repro_protect_plans_total`` counter.  Pass ``plan_store=`` to
     share or pre-build a store (its budget then governs).
 
+    ``churn`` (a :class:`~repro.core.churn.ChurnPolicy`) governs
+    :meth:`resize`: by default membership changes go through the
+    incremental engine (:func:`~repro.core.churn.extend_route` /
+    :func:`~repro.core.churn.prune_route`) and are booked as exact
+    deltas, with full reroute as the policy's fallback when tap or
+    drift limits are exceeded; ``ChurnPolicy(incremental=False)``
+    restores the pre-1.6 reroute-everything behaviour.
+
     ``tracer`` / ``metrics`` attach observability (see :mod:`repro.obs`):
     the tracer receives per-conference submit/admit/reroute/drop spans
     and retry/degrade events (plus ``heal.fastpath`` spans for planned
@@ -222,6 +238,7 @@ class SelfHealingController:
         route_cache: "RouteCache | None" = None,
         protection: int = 0,
         plan_store: "BackupPlanStore | None" = None,
+        churn: "ChurnPolicy | None" = None,
         tracer: "Tracer | None" = None,
         metrics: "MetricsRegistry | None" = None,
         seed: "int | np.random.Generator | None" = None,
@@ -262,6 +279,7 @@ class SelfHealingController:
                 tracer=tracer,
             )
         self._plans = plan_store if plan_store is not None and plan_store.protection else None
+        self._churn = churn or ChurnPolicy()
         self._network = network
         self._inner = AdmissionController(network, tracer=tracer)
         self._retry = retry
@@ -316,6 +334,11 @@ class SelfHealingController:
     def plan_store(self) -> "BackupPlanStore | None":
         """The backup-plan store, or ``None`` when protection is off."""
         return self._plans
+
+    @property
+    def churn_policy(self) -> ChurnPolicy:
+        """How :meth:`resize` applies membership changes."""
+        return self._churn
 
     @property
     def current_faults(self) -> frozenset[Point]:
@@ -541,24 +564,39 @@ class SelfHealingController:
         conference_id: int,
         members: "tuple[int, ...] | list[int]",
         now: "float | None" = None,
-    ) -> Route:
+    ) -> ChurnResult:
         """Change a live conference's membership (members join/leave).
 
-        The new member set is routed around the *current* fault set and
-        swapped in atomically via the same link-diff accounting the
-        healing ladder uses; the degraded bookkeeping follows the new
-        membership.  Raises :class:`AdmissionDenied` (and leaves the old
-        route live) when a wanted port is taken or capacity refuses the
-        added links, :class:`~repro.core.routing.UnroutableError` when
-        no surviving route exists for the new membership.
+        Pure joins and pure leaves go through the incremental churn
+        engine under the controller's :class:`ChurnPolicy` (the default):
+        only the exact link diff is booked against the ledger, backup
+        plans and cached routes crossing the touched links are
+        invalidated in place, and the returned
+        :class:`~repro.core.churn.ChurnResult` carries the disruption
+        diff (``links_added``/``links_removed``/``taps_moved``/
+        ``drift_links``).  Mixed changes, ``incremental=False``, and
+        policy-limit fallbacks reroute from scratch (``mode`` says
+        which path ran).  Raises :class:`AdmissionDenied` (and leaves
+        the old route live) when a wanted port is taken or capacity
+        refuses the added links,
+        :class:`~repro.core.routing.UnroutableError` when no surviving
+        route exists for the new membership, and
+        :class:`~repro.core.churn.ChurnLimitExceeded` when a limit
+        trips under ``fallback="raise"``.
         """
         old = self._inner.route_of(conference_id)
         conference = Conference.of(members, conference_id=conference_id)
         faults = frozenset(self._faults)
-        new = self._route(conference, faults)
-        self._inner.replace_route(conference_id, new)
+        churn = self._resize_churn(old, conference, faults)
+        new = self._inner.apply_churn(churn)
         self._healthy[conference_id] = self._route(conference) if faults else new
         self._update_degraded(conference_id, new, now=now)
+        touched = churn.links_added | churn.links_removed
+        if touched:
+            if self._cache is not None:
+                self._cache.invalidate_links(touched)
+            if self._plans is not None:
+                self._plans.invalidate_links(touched)
         self._protect(new)
         if self.tracer is not None:
             self.tracer.event(
@@ -566,12 +604,48 @@ class SelfHealingController:
                 t=now,
                 cid=conference_id,
                 size=len(conference.members),
-                links_touched=len(new.links - old.links) + len(old.links - new.links),
+                mode=churn.mode,
+                hitless=churn.hitless,
+                drift=churn.drift_links,
+                links_touched=churn.reconfigured_links,
             )
         self._count("repro_heals_total", action="resize")
+        self._count("repro_churn_total", mode=churn.mode)
         if now is not None:
             self._observe(now)
-        return new
+        return churn
+
+    def _resize_churn(
+        self, old: Route, conference: Conference, faults: frozenset
+    ) -> ChurnResult:
+        """Compute the membership change under the churn policy.
+
+        Pure joins extend the live route, pure leaves prune it; mixed
+        changes and ``incremental=False`` reroute from scratch (through
+        the cache-assisted router, so the full path stays bit-identical
+        to the pre-churn behaviour).
+        """
+        policy = self._churn
+        joined = sorted(conference.member_set - old.conference.member_set)
+        left = sorted(old.conference.member_set - conference.member_set)
+        incremental = policy.incremental and bool(joined) != bool(left)
+        if not incremental:
+            after = self._route(conference, faults)
+            reason = None if policy.incremental else "policy"
+            if policy.incremental and joined and left:
+                reason = "mixed-change"
+            return _diff(old, after, mode="full-reroute", fallback_reason=reason)
+        topology = self._network.topology
+        kwargs = dict(
+            policy=self._network.policy,
+            faults=faults or None,
+            max_taps_moved=policy.max_taps_moved,
+            drift_limit=policy.drift_limit,
+            fallback=policy.fallback,
+        )
+        if left:
+            return prune_route(topology, old, left, **kwargs)
+        return extend_route(topology, old, joined, **kwargs)
 
     # -- retrying admission (arrivals) -------------------------------------
 

@@ -282,6 +282,39 @@ class RouteCache:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
 
+    def invalidate_links(self, links: "Iterable[Point]") -> int:
+        """Evict exactly the entries whose stored route crosses ``links``.
+
+        The scoped eviction membership churn uses: the cache memoizes a
+        pure function, so resident entries are never *wrong* — but
+        entries crossing just-reconfigured links were computed against a
+        link occupancy that no longer holds, and serving them keeps
+        admission re-discovering the same contention.  Dropping only the
+        crossing entries (negative entries have no links and survive)
+        keeps the rest of the working set warm.  Returns the eviction
+        count.
+        """
+        touched = frozenset(links)
+        if not touched:
+            return 0
+        doomed = []
+        for key, entry in self._entries.items():
+            if isinstance(entry, UnroutableError):
+                continue
+            levels, _taps = entry
+            if any(
+                (t, row) in touched
+                for t in range(1, len(levels))
+                for row in levels[t]
+            ):
+                doomed.append(key)
+        for key in doomed:
+            del self._entries[key]
+        self.stats.evictions += len(doomed)
+        if doomed and self.tracer is not None:
+            self.tracer.event("cache.invalidate_links", evicted=len(doomed))
+        return len(doomed)
+
     def clear(self) -> None:
         """Drop every entry (stats are kept)."""
         self._entries.clear()

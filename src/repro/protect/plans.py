@@ -329,6 +329,51 @@ class BackupPlanStore:
         self.stats.invalidated += removed
         return removed
 
+    def invalidate_links(self, links: "Iterable[Point]") -> list[int]:
+        """Drop exactly the plans that touch any of ``links``.
+
+        The scoped form of :meth:`invalidate` used by membership churn:
+        a plan is affected when its *protected point* is one of the
+        touched links or its stored backup route *crosses* one (the
+        link's load just changed, so the plan's capacity assumptions —
+        and the most-loaded-first ranking that chose it — are stale).
+        Plans elsewhere survive, so a hitless in-block join replans
+        nothing but the conferences actually sharing the graft.
+        Returns the affected conference ids, for targeted re-planning.
+        """
+        touched = frozenset(links)
+        if not touched:
+            return []
+        affected: list[int] = []
+        for cid in list(self._plans):
+            plans = self._plans[cid]
+            doomed = [
+                point
+                for point, plan in plans.items()
+                if point in touched or self._plan_crosses(plan, touched)
+            ]
+            if not doomed:
+                continue
+            for point in doomed:
+                del plans[point]
+            self.stats.invalidated += len(doomed)
+            affected.append(cid)
+            if not plans:
+                del self._plans[cid]
+        return affected
+
+    @staticmethod
+    def _plan_crosses(plan: BackupPlan, touched: frozenset) -> bool:
+        """Does a positive plan's backup route use any touched link?"""
+        if plan.unroutable:
+            return False
+        levels, _taps = plan.entry
+        return any(
+            (t, row) in touched
+            for t in range(1, len(levels))
+            for row in levels[t]
+        )
+
     def clear(self) -> None:
         """Drop every plan (stats are kept)."""
         self._plans.clear()

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
+from repro.core.churn import ChurnPolicy
 from repro.core.healing import RetryPolicy
 from repro.core.network import ConferenceNetwork
 from repro.serve.backpressure import ShedPolicy
@@ -151,6 +152,7 @@ def run_serve_bench(
     queue_capacity: int = 256,
     shed_policy: "ShedPolicy | str" = ShedPolicy.REJECT_NEWEST,
     max_batch: int = 64,
+    churn: "ChurnPolicy | None" = None,
     retry: "RetryPolicy | None" = None,
     fault_process: "FaultProcessConfig | None" = None,
     fault_horizon: "float | None" = None,
@@ -206,6 +208,7 @@ def run_serve_bench(
         queue_capacity=queue_capacity,
         shed_policy=shed_policy,
         max_batch=max_batch,
+        churn=churn,
     )
     injector = None
     if fault_process is not None:

@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.admission import AdmissionDenied
+from repro.core.churn import ChurnLimitExceeded, ChurnPolicy
 from repro.core.conference import Conference
 from repro.core.healing import RetryPolicy, SelfHealingController
 from repro.core.network import ConferenceNetwork
@@ -138,7 +139,11 @@ class FabricService:
     (plan budget F, default 0 = reactive) turns on the healing
     controller's precomputed fast failover: faults on protected links
     switch sessions to stored backup plans in O(1) inside the same tick,
-    with decisions bit-identical to the reactive service.
+    with decisions bit-identical to the reactive service.  ``churn`` (a
+    :class:`~repro.core.churn.ChurnPolicy`) governs how ``join`` /
+    ``leave`` reshape live routes — incrementally by default, with
+    full reroute as the configured fallback — and the applied
+    response's ``detail`` carries the disruption diff.
     """
 
     def __init__(
@@ -149,6 +154,7 @@ class FabricService:
         rng: "int | np.random.Generator | None" = None,
         route_cache: "RouteCache | None" = None,
         protection: int = 0,
+        churn: "ChurnPolicy | None" = None,
         tracer: "Tracer | None" = None,
         metrics: "MetricsRegistry | None" = None,
         slo: "SLOEvaluator | None" = None,
@@ -168,6 +174,7 @@ class FabricService:
             rng=healing_rng,
             route_cache=route_cache,
             protection=protection,
+            churn=churn,
             tracer=tracer,
             metrics=metrics,
         )
@@ -219,6 +226,11 @@ class FabricService:
     def protection(self) -> int:
         """The healing controller's backup-plan budget F (0 = reactive)."""
         return self._healing.protection
+
+    @property
+    def churn_policy(self) -> ChurnPolicy:
+        """How join/leave reshape live routes (incremental vs full)."""
+        return self._healing.churn_policy
 
     @property
     def slo(self) -> "SLOEvaluator | None":
@@ -585,17 +597,21 @@ class FabricService:
                     reason="too-few-members", batch_seq=batch_seq,
                 )
         try:
-            route = self._healing.resize(
+            churn = self._healing.resize(
                 session.conference_id, sorted(wanted), now=self.now
             )
-        except (AdmissionDenied, UnroutableError) as exc:
+        except (AdmissionDenied, UnroutableError, ChurnLimitExceeded) as exc:
             reason = getattr(exc, "reason", "fault")
             return self._complete(
                 request, "rejected", session.session_id,
                 reason=reason, batch_seq=batch_seq,
             )
-        session.members = tuple(sorted(wanted))
-        session.generation += 1
+        if request.kind == RequestKind.JOIN:
+            for port in sorted(ports):
+                session.add_member(port, self.now)
+        else:
+            for port in sorted(ports):
+                session.remove_member(port, self.now)
         if session.conference_id in self._healing.degraded_conferences:
             session.transition(SessionState.DEGRADED, self.now)
         else:
@@ -603,7 +619,15 @@ class FabricService:
         return self._complete(
             request, "applied", session.session_id,
             batch_seq=batch_seq,
-            detail={"members": len(session.members), "links": route.n_links},
+            detail={
+                "members": len(session.members),
+                "links": churn.after.n_links,
+                "links_reconfigured": churn.reconfigured_links,
+                "hitless": churn.hitless,
+                "mode": churn.mode,
+                "taps_moved": len(churn.taps_moved),
+                "drift_links": churn.drift_links,
+            },
         )
 
     def _handle_close(self, request: SessionRequest, batch_seq: int) -> ServiceResponse:

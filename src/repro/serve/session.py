@@ -88,6 +88,44 @@ class Session:
         """True while the session holds (or is owed) fabric resources."""
         return self.state in LIVE_STATES
 
+    def add_member(self, port: int, at: float) -> None:
+        """Record a successful join: ``port`` becomes a member.
+
+        Membership changes are part of the lifecycle state machine —
+        they are only legal while the session holds fabric resources,
+        bump ``generation`` (the route changed), and land in
+        ``history`` as ``+port`` entries alongside state transitions.
+        """
+        if not self.live:
+            raise ValueError(
+                f"session {self.session_id}: cannot add member in state {self.state.value}"
+            )
+        if port in self.members:
+            raise ValueError(f"session {self.session_id}: port {port} is already a member")
+        self.members = tuple(sorted(self.members + (port,)))
+        self.generation += 1
+        self.history.append(f"{at:g}:+{port}")
+
+    def remove_member(self, port: int, at: float) -> None:
+        """Record a leave: ``port`` stops being a member.
+
+        At least one member must remain — an empty session must be
+        closed, not drained.  Logged in ``history`` as ``-port``.
+        """
+        if not self.live:
+            raise ValueError(
+                f"session {self.session_id}: cannot remove member in state {self.state.value}"
+            )
+        if port not in self.members:
+            raise ValueError(f"session {self.session_id}: port {port} is not a member")
+        if len(self.members) == 1:
+            raise ValueError(
+                f"session {self.session_id}: cannot remove the last member; close instead"
+            )
+        self.members = tuple(m for m in self.members if m != port)
+        self.generation += 1
+        self.history.append(f"{at:g}:-{port}")
+
     def transition(self, target: SessionState, at: float) -> None:
         """Move to ``target``, enforcing the lifecycle state machine."""
         if target is self.state:

@@ -1,5 +1,13 @@
-"""Workload generation: random conference sets and exact enumerations."""
+"""Workload generation: conference sets, churn timelines, enumerations."""
 
+from repro.workloads.churn import (
+    ChurnEvent,
+    diurnal_load,
+    flash_crowd,
+    lurker_joins,
+    replay_churn,
+    zipf_sizes,
+)
 from repro.workloads.generators import (
     aligned_sets,
     clustered,
@@ -16,14 +24,20 @@ from repro.workloads.partitions import (
 )
 
 __all__ = [
+    "ChurnEvent",
     "aligned_sets",
     "clustered",
     "conference_sets",
     "count_partial_partitions",
+    "diurnal_load",
     "draw_sizes",
+    "flash_crowd",
     "interleaved",
+    "lurker_joins",
     "pair_families",
     "partial_partitions",
+    "replay_churn",
     "sample_stream",
     "uniform_partition",
+    "zipf_sizes",
 ]

@@ -116,6 +116,24 @@ class TestConstructorConvention:
             assert name in params, f"{cls.__name__} lacks {name}="
             assert params[name].kind is inspect.Parameter.KEYWORD_ONLY
 
+    # Satellite of the 1.6 redesign: every churn entry point takes its
+    # configuration (policy, fallback, limits) keyword-only.
+    @pytest.mark.parametrize(
+        "fn, expected",
+        [
+            (api.extend_route, ["policy", "fallback", "max_taps_moved", "drift_limit"]),
+            (api.prune_route, ["policy", "fallback", "max_taps_moved", "drift_limit"]),
+            (api.join_member, ["policy", "fallback", "max_taps_moved", "drift_limit"]),
+            (api.leave_member, ["policy", "fallback", "max_taps_moved", "drift_limit"]),
+            (api.apply_churn, ["policy", "faults"]),
+        ],
+    )
+    def test_churn_configuration_is_keyword_only(self, fn, expected):
+        params = inspect.signature(fn).parameters
+        for name in expected:
+            assert name in params, f"{fn.__name__} lacks {name}="
+            assert params[name].kind is inspect.Parameter.KEYWORD_ONLY
+
 
 class TestDeprecations:
     def test_legacy_names_warn_once_per_process(self):
@@ -162,6 +180,42 @@ class TestDeprecations:
             check=True,
             env={"PYTHONPATH": str(REPO / "src")},
         )
+
+    def test_apply_churn_positional_policy_warns_once(self):
+        code = (
+            "import warnings\n"
+            "from repro.core.churn import apply_churn\n"
+            "from repro.core.conference import Conference\n"
+            "from repro.core.routing import RoutingPolicy, route_conference\n"
+            "from repro.topology.builders import build\n"
+            "net = build('indirect-binary-cube', 16)\n"
+            "route = route_conference(net, Conference.of([0, 1, 2]))\n"
+            "with warnings.catch_warnings(record=True) as log:\n"
+            "    warnings.simplefilter('always')\n"
+            "    apply_churn(net, route, [0, 1, 2, 3], RoutingPolicy())\n"
+            "    apply_churn(net, route, [0, 1], RoutingPolicy())\n"
+            "dep = [w for w in log if issubclass(w.category, DeprecationWarning)]\n"
+            "assert len(dep) == 1, f'expected exactly one warning, got {len(dep)}'\n"
+            "assert 'policy=' in str(dep[0].message)\n"
+        )
+        subprocess.run(
+            [sys.executable, "-c", code],
+            check=True,
+            env={"PYTHONPATH": str(REPO / "src")},
+        )
+
+    def test_apply_churn_keyword_policy_does_not_warn(self):
+        from repro.core.churn import apply_churn
+        from repro.core.conference import Conference
+        from repro.core.routing import RoutingPolicy, route_conference
+        from repro.topology.builders import build
+
+        net = build("indirect-binary-cube", 16)
+        route = route_conference(net, Conference.of([0, 1, 2]))
+        with warnings.catch_warnings(record=True) as log:
+            warnings.simplefilter("always")
+            apply_churn(net, route, [0, 1, 2, 3], policy=RoutingPolicy())
+        assert not [w for w in log if issubclass(w.category, DeprecationWarning)]
 
     def test_healing_seed_kwarg_warns_but_works(self):
         from repro.core.network import ConferenceNetwork

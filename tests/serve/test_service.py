@@ -144,6 +144,54 @@ class TestLifecycle:
         assert got[-1].status == "admitted"
 
 
+class TestChurnDetail:
+    # Satellite of the 1.6 redesign: join/leave responses carry the
+    # disruption diff, not a bare ok/reason.
+
+    def test_join_response_carries_the_disruption_diff(self):
+        svc = service()
+        got = []
+        sid = svc.submit_open([0, 3], on_complete=collect(got))
+        svc.tick()
+        svc.submit_join(sid, [1], on_complete=collect(got))
+        svc.tick()
+        detail = got[-1].detail
+        for key in ("links_reconfigured", "hitless", "mode", "taps_moved", "drift_links"):
+            assert key in detail, f"join detail lacks {key}"
+        assert detail["mode"] == "incremental"
+        assert detail["hitless"] is True  # in-block join on the cube
+        assert detail["taps_moved"] == 0
+        payload = got[-1].as_dict()
+        assert payload["detail"]["links_reconfigured"] == detail["links_reconfigured"]
+
+    def test_full_reroute_policy_is_reported_in_the_detail(self):
+        from repro.core.churn import ChurnPolicy
+
+        svc = service(churn=ChurnPolicy(incremental=False))
+        got = []
+        sid = svc.submit_open([0, 3], on_complete=collect(got))
+        svc.tick()
+        svc.submit_join(sid, [1], on_complete=collect(got))
+        svc.tick()
+        assert got[-1].status == "applied"
+        assert got[-1].detail["mode"] == "full-reroute"
+
+    def test_membership_changes_bump_generation_and_history(self):
+        svc = service()
+        got = []
+        sid = svc.submit_open([0, 1], on_complete=collect(got))
+        svc.tick()
+        session = svc.sessions.require(sid)
+        generation = session.generation
+        svc.submit_join(sid, [2], on_complete=collect(got))
+        svc.tick()
+        svc.submit_leave(sid, [2], on_complete=collect(got))
+        svc.tick()
+        assert session.generation == generation + 2
+        assert any(entry.endswith("+2") for entry in session.history)
+        assert any(entry.endswith("-2") for entry in session.history)
+
+
 class TestBackpressure:
     def test_overflow_rejects_with_backpressure(self):
         svc = service(queue_capacity=2, max_batch=64)
