@@ -1,0 +1,257 @@
+"""Experiment M1 — delivered throughput of the buffered wormhole fabric.
+
+The conflict analysis (T1) bounds what the adversarial conference set
+*needs*: every inter-stage link of the binary-cube adversarial set is
+shared by ``m`` conferences, so a fabric must provide dilation (lanes)
+or a TDM frame of ``m`` to carry full load.  This experiment measures
+what a concrete buffered fabric *delivers* with the cycle-level model:
+
+* **Load sweep** — for lanes ``L ∈ {1, 2, 4}``, offered load is swept
+  around the per-conference saturation rate ``r* = min(1/F, L/(m·F))``
+  packets/cycle.  The acceptance criterion: delivered throughput tracks
+  the offer below ``r*``, plateaus **at** ``r*`` above it — never below
+  the bound (the model does not lose capacity to its own queueing) and
+  never above (no flit is created).
+* **Buffer-depth table** — lane FIFO depth swept at fixed load near the
+  knee; deeper buffers absorb burstiness but cannot raise the plateau.
+* **TDM vs space** — the same conference set carried by ``m`` space
+  lanes versus a time frame of ``n_slots`` colours (bench_a4 prices this
+  statically; here both arms are *measured*).  Each arm is driven at
+  1.5× its own knee and must deliver its own bound.
+
+Aggregates land in ``benchmarks/results/m1_*.{txt,csv}`` and the
+repo-root ``BENCH_m1.json``.  Run directly
+(``python benchmarks/bench_m1_perfmodel.py``) or via pytest.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+from _common import emit
+
+from repro.analysis.scheduling import schedule_slots
+from repro.analysis.worstcase import cube_adversarial_set
+from repro.core.conflict import analyze_conflicts
+from repro.core.routing import route_conference
+from repro.perfmodel import PerfModelConfig, simulate_delivery
+from repro.topology.builders import build
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_m1.json"
+
+TOPOLOGY = "indirect-binary-cube"
+N_PORTS = 32
+FLITS = 4
+CYCLES = 4000
+LANE_ARMS = (1, 2, 4)
+LOAD_FACTORS = (0.25, 0.5, 0.75, 0.9, 1.0, 1.25, 1.5)
+DEPTHS = (1, 2, 4, 8, 16)
+
+
+def adversarial_routes():
+    net = build(TOPOLOGY, N_PORTS)
+    return [route_conference(net, c) for c in cube_adversarial_set(N_PORTS)]
+
+
+def saturation_rate(lanes: int, multiplicity: int) -> float:
+    """Per-conference packets/cycle the fabric can sustain: a lane moves
+    one flit per cycle, a packet holds it for F cycles, and m sharers
+    split L lanes."""
+    return min(1.0 / FLITS, lanes / (multiplicity * FLITS))
+
+
+def load_sweep(routes, multiplicity):
+    """One record per (lanes, load factor) point of the sweep."""
+    rows = []
+    for lanes in LANE_ARMS:
+        r_star = saturation_rate(lanes, multiplicity)
+        for rho in LOAD_FACTORS:
+            report = simulate_delivery(
+                routes,
+                config=PerfModelConfig(lanes=lanes, flits_per_packet=FLITS),
+                cycles=CYCLES,
+                offered_load=rho * r_star,
+            )
+            per_conf = report.delivered_throughput / len(routes)
+            lat = report.latency
+            rows.append(
+                {
+                    "lanes": lanes,
+                    "load_factor": rho,
+                    "offered_per_conf": round(rho * r_star, 5),
+                    "delivered_per_conf": round(per_conf, 5),
+                    "vs_bound": round(per_conf / r_star, 3),
+                    "p50_cycles": lat["p50"] and round(lat["p50"], 1),
+                    "p99_cycles": lat["p99"] and round(lat["p99"], 1),
+                    "lane_busy_stalls": report.stalls["lane_busy"],
+                    "buffer_full_stalls": report.stalls["buffer_full"],
+                }
+            )
+            assert report.ok, report.reason
+    return rows
+
+
+def depth_sweep(routes, multiplicity):
+    """Lane-FIFO depth at fixed near-knee load (L=1)."""
+    r_star = saturation_rate(1, multiplicity)
+    rows = []
+    for depth in DEPTHS:
+        report = simulate_delivery(
+            routes,
+            config=PerfModelConfig(lanes=1, buffer_depth=depth, flits_per_packet=FLITS),
+            cycles=CYCLES,
+            offered_load=0.9 * r_star,
+        )
+        per_conf = report.delivered_throughput / len(routes)
+        rows.append(
+            {
+                "buffer_depth": depth,
+                "delivered_per_conf": round(per_conf, 5),
+                "vs_bound": round(per_conf / r_star, 3),
+                "p50_cycles": report.latency["p50"] and round(report.latency["p50"], 1),
+                "p99_cycles": report.latency["p99"] and round(report.latency["p99"], 1),
+                "peak_lane_occupancy": report.peak_lane_occupancy,
+            }
+        )
+        assert report.ok, report.reason
+        assert report.peak_lane_occupancy <= depth
+    return rows
+
+
+def tdm_vs_space(routes, multiplicity):
+    """Both dilation alternatives measured at 1.5× their own knee."""
+    n_slots = schedule_slots(routes).n_slots
+    arms = []
+    for label, config, r_star in (
+        (
+            f"space L={multiplicity}",
+            PerfModelConfig(lanes=multiplicity, flits_per_packet=FLITS),
+            saturation_rate(multiplicity, multiplicity),
+        ),
+        (
+            f"tdm slots={n_slots}",
+            PerfModelConfig(tdm=True, flits_per_packet=FLITS),
+            1.0 / (FLITS * n_slots),
+        ),
+    ):
+        report = simulate_delivery(
+            routes, config=config, cycles=CYCLES, offered_load=1.5 * r_star
+        )
+        per_conf = report.delivered_throughput / len(routes)
+        arms.append(
+            {
+                "arm": label,
+                "bound_per_conf": round(r_star, 5),
+                "delivered_per_conf": round(per_conf, 5),
+                "vs_bound": round(per_conf / r_star, 3),
+                "p50_cycles": report.latency["p50"] and round(report.latency["p50"], 1),
+                "tdm_gate_stalls": report.stalls["tdm_gate"],
+            }
+        )
+        assert report.ok, report.reason
+    return arms, n_slots
+
+
+def write_artifacts():
+    routes = adversarial_routes()
+    multiplicity = analyze_conflicts(routes).max_multiplicity
+
+    sweep = load_sweep(routes, multiplicity)
+    emit(
+        "m1_load_sweep",
+        sweep,
+        title=(
+            f"M1: delivered vs offered load, adversarial set "
+            f"({TOPOLOGY} N={N_PORTS}, m={multiplicity}, F={FLITS}, "
+            f"{CYCLES} cycles)"
+        ),
+    )
+    depths = depth_sweep(routes, multiplicity)
+    emit(
+        "m1_buffer_depth",
+        depths,
+        title=f"M1: lane-FIFO depth at 0.9×knee (L=1, m={multiplicity})",
+    )
+    tdm, n_slots = tdm_vs_space(routes, multiplicity)
+    emit(
+        "m1_tdm_vs_space",
+        tdm,
+        title=f"M1: space dilation vs TDM frame at 1.5× each knee",
+    )
+
+    payload = {
+        "experiment": "m1_perfmodel",
+        "workload": {
+            "topology": TOPOLOGY,
+            "n_ports": N_PORTS,
+            "conferences": len(routes),
+            "max_multiplicity": multiplicity,
+            "flits_per_packet": FLITS,
+            "cycles": CYCLES,
+            "adversarial_set": "cube_adversarial_set",
+        },
+        "saturation_bounds": {
+            str(lanes): saturation_rate(lanes, multiplicity) for lanes in LANE_ARMS
+        },
+        "load_sweep": sweep,
+        "buffer_depth": depths,
+        "tdm_vs_space": {"n_slots": n_slots, "arms": tdm},
+        "note": (
+            "delivered_per_conf is packets/cycle per conference; vs_bound "
+            "divides by r* = min(1/F, L/(m*F)).  Acceptance: vs_bound "
+            "tracks load_factor below 1.0 and plateaus at 1.0 above — "
+            "saturation at, never before, the multiplicity bound."
+        ),
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    # The acceptance criteria, asserted where the artifact is written.
+    for lanes in LANE_ARMS:
+        arm = [r for r in sweep if r["lanes"] == lanes]
+        below = [r for r in arm if r["load_factor"] <= 0.9]
+        above = [r for r in arm if r["load_factor"] >= 1.25]
+        for r in below:  # delivery tracks the offer under the knee
+            assert abs(r["vs_bound"] - r["load_factor"]) <= 0.05 * r["load_factor"], (
+                f"L={lanes} ρ={r['load_factor']}: delivered {r['vs_bound']} "
+                f"of bound, expected ≈ρ"
+            )
+        for r in above:  # plateau AT the bound: not before, not beyond
+            assert r["vs_bound"] >= 0.95, (
+                f"L={lanes} ρ={r['load_factor']}: saturated below the bound "
+                f"({r['vs_bound']})"
+            )
+            assert r["vs_bound"] <= 1.001, (
+                f"L={lanes} ρ={r['load_factor']}: delivered above the bound "
+                f"({r['vs_bound']})"
+            )
+    # Deeper buffers never raise the plateau's load point here (0.9×knee
+    # is below saturation, so every depth must deliver the offer).
+    for r in depths:
+        assert r["vs_bound"] >= 0.85, f"depth {r['buffer_depth']} lost throughput"
+    for arm in tdm:
+        assert arm["vs_bound"] >= 0.95, f"{arm['arm']} delivered below its bound"
+        assert arm["vs_bound"] <= 1.001, f"{arm['arm']} delivered above its bound"
+    return payload
+
+
+def test_m1_single_point(benchmark):
+    routes = adversarial_routes()
+    multiplicity = analyze_conflicts(routes).max_multiplicity
+    r_star = saturation_rate(1, multiplicity)
+    report = benchmark(
+        lambda: simulate_delivery(
+            routes, config=PerfModelConfig(flits_per_packet=FLITS),
+            cycles=1000, offered_load=0.9 * r_star,
+        )
+    )
+    assert report.ok
+
+
+def test_m1_artifacts(benchmark):
+    benchmark(lambda: None)
+    payload = write_artifacts()
+    assert payload["workload"]["max_multiplicity"] >= 2
+
+
+if __name__ == "__main__":
+    print(json.dumps(write_artifacts(), indent=2, sort_keys=True))

@@ -82,14 +82,18 @@ def schedule_slots(routes: Sequence[Route], strategy: str = "DSATUR") -> Schedul
     link.
     """
     routes = list(routes)
-    graph = conflict_graph(routes)
-    if len(routes) == 0:
-        return ScheduleResult(slots={}, n_slots=0, clique_bound=0, strategy=strategy)
+    # Validate the strategy before the empty-input early return: an
+    # unknown strategy is a caller bug whether or not there is anything
+    # to colour, and the TDM mode builds schedules from live route sets
+    # that are legitimately empty between sessions.
     name_map = {"DSATUR": "DSATUR", "largest_first": "largest_first"}
     try:
         nx_strategy = name_map[strategy]
     except KeyError:
         raise ValueError(f"unknown strategy {strategy!r}; known: {sorted(name_map)}") from None
+    graph = conflict_graph(routes)
+    if len(routes) == 0:
+        return ScheduleResult(slots={}, n_slots=0, clique_bound=0, strategy=strategy)
     colouring = nx.coloring.greedy_color(graph, strategy=nx_strategy)
     n_slots = (max(colouring.values()) + 1) if colouring else 1
 

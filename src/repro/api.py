@@ -73,6 +73,15 @@ from repro.obs.slo import (
 )
 from repro.obs.trace import Tracer
 from repro.parallel.cache import RouteCache
+from repro.perfmodel.capacity import DeliveryModel
+from repro.perfmodel.model import (
+    CycleSim,
+    LaneQueue,
+    LinkModel,
+    PerfModelConfig,
+    simulate_delivery,
+)
+from repro.perfmodel.report import PerfReport
 from repro.protect.plans import BackupPlan, BackupPlanStore, PlanStats
 from repro.serve.backpressure import AdmissionQueue, ShedPolicy
 from repro.serve.bench import ServeBenchReport, run_serve_bench
@@ -100,7 +109,7 @@ from repro.workloads.churn import (
 
 #: Version of the public surface (bumped on any additive change; the
 #: library version tracks releases, this tracks the API contract).
-API_VERSION = "1.6"
+API_VERSION = "1.7"
 
 
 @runtime_checkable
@@ -215,6 +224,14 @@ __all__ = [
     "rank_shards",
     "ClusterBenchReport",
     "run_cluster_bench",
+    # cycle-level buffered-switch performance model
+    "PerfModelConfig",
+    "LaneQueue",
+    "LinkModel",
+    "CycleSim",
+    "PerfReport",
+    "DeliveryModel",
+    "simulate_delivery",
     # observability
     "Tracer",
     "MetricsRegistry",

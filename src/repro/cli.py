@@ -56,6 +56,7 @@ from repro.analysis.worstcase import (
 )
 from repro.core.network import ConferenceNetwork
 from repro.obs import MetricsRegistry, Tracer, collecting
+from repro.perfmodel import PerfModelConfig
 from repro.report.ascii import render_network, render_routes, render_stage_profile
 from repro.report.serialize import result_to_dict, save_json
 from repro.report.tables import render_table
@@ -124,6 +125,64 @@ def _churn_policy(args: argparse.Namespace) -> ChurnPolicy:
     return ChurnPolicy(
         incremental=args.churn == "incremental",
         drift_limit=args.drift_limit,
+    )
+
+
+def _add_perf_flags(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--capacity-model",
+        default="abstract",
+        choices=("abstract", "buffered"),
+        help="link-capacity model: the admission ledger's dilation bound "
+        "(abstract) or a per-tick cycle-level wormhole simulation of the "
+        "live routes (buffered; pure observation, decisions unchanged)",
+    )
+    cmd.add_argument(
+        "--lanes",
+        type=int,
+        default=1,
+        metavar="L",
+        help="buffered model: lanes per inter-stage link (default 1)",
+    )
+    cmd.add_argument(
+        "--buffer-depth",
+        type=int,
+        default=4,
+        metavar="FLITS",
+        help="buffered model: per-lane FIFO depth in flits (default 4)",
+    )
+    cmd.add_argument(
+        "--flits",
+        type=int,
+        default=4,
+        metavar="F",
+        help="buffered model: flits per packet (default 4)",
+    )
+    cmd.add_argument(
+        "--tdm",
+        action="store_true",
+        help="buffered model: drive lane/slot assignment from the "
+        "conflict colouring's TDM frame instead of space-division lanes",
+    )
+    cmd.add_argument(
+        "--cycles-per-tick",
+        type=int,
+        default=64,
+        metavar="N",
+        help="buffered model: fabric cycles simulated per service tick "
+        "(default 64)",
+    )
+
+
+def _perf_config(args: argparse.Namespace) -> "PerfModelConfig | None":
+    if args.capacity_model != "buffered":
+        return None
+    return PerfModelConfig(
+        lanes=args.lanes,
+        buffer_depth=args.buffer_depth,
+        flits_per_packet=args.flits,
+        tdm=args.tdm,
+        cycles_per_tick=args.cycles_per_tick,
     )
 
 
@@ -424,6 +483,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-batch", type=int, default=64)
     serve.add_argument("--json", metavar="PATH", help="write every response as JSON (shared result schema)")
     _add_churn_flags(serve)
+    _add_perf_flags(serve)
     _add_telemetry_flags(serve)
     _add_live_obs_flags(serve)
 
@@ -464,6 +524,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_serve.add_argument("--json", metavar="PATH", help="write the report as JSON (shared result schema)")
     _add_churn_flags(bench_serve)
+    _add_perf_flags(bench_serve)
     _add_telemetry_flags(bench_serve)
     _add_live_obs_flags(bench_serve)
 
@@ -502,6 +563,7 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--migration-budget", type=int, default=8, help="moves started per tick")
     cluster.add_argument("--json", metavar="PATH", help="write the report as JSON (shared result schema)")
     _add_churn_flags(cluster)
+    _add_perf_flags(cluster)
     _add_telemetry_flags(cluster)
     _add_live_obs_flags(cluster)
 
@@ -543,6 +605,7 @@ def build_parser() -> argparse.ArgumentParser:
         "for a fixed seed across shard counts; the determinism CI job cmp's these)",
     )
     _add_churn_flags(bench_cluster)
+    _add_perf_flags(bench_cluster)
     _add_telemetry_flags(bench_cluster)
     _add_live_obs_flags(bench_cluster)
 
@@ -913,6 +976,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shed_policy=args.shed_policy,
         max_batch=args.max_batch,
         churn=_churn_policy(args),
+        capacity_model=args.capacity_model,
+        perf=_perf_config(args),
     )
     workload = uniform_partition(args.ports, load=args.load, seed=args.seed)
 
@@ -1012,6 +1077,8 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         metrics=registry,
         slo=slo,
         flight=flight,
+        capacity_model=args.capacity_model,
+        perf=_perf_config(args),
     )
     svc = report.service
     rows = [
@@ -1039,6 +1106,23 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
             f"{report.recovery.get('recovery_ticks_max', 0.0)}"
         )},
     ]
+    if report.delivery is not None:
+        d = report.delivery
+        lat = d["latency"]
+        def _c(v):
+            return round(v, 1) if v is not None else "-"
+        rows.append({"metric": "delivery model", "value": (
+            f"buffered L={d['config']['lanes']} D={d['config']['buffer_depth']} "
+            f"F={d['config']['flits_per_packet']}"
+            + (" tdm" if d["config"]["tdm"] else "")
+        )})
+        rows.append({"metric": "delivered / offered packets", "value": (
+            f"{d['delivered_packets']} / {d['offered_packets']} "
+            f"({round(d['delivery_ratio'], 4)})"
+        )})
+        rows.append({"metric": "delivery latency p50 / p95 / p99 (cycles)", "value": (
+            f"{_c(lat['p50'])} / {_c(lat['p95'])} / {_c(lat['p99'])}"
+        )})
     print(render_table(
         rows,
         title=f"serve bench ({args.topology}, N={args.ports}, seed={args.seed}, "
@@ -1086,6 +1170,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         metrics=registry,
         slo=slo,
         flight=flight,
+        capacity_model=args.capacity_model,
+        perf=_perf_config(args),
     )
     shard_rows = [
         {
@@ -1168,6 +1254,8 @@ def _cmd_bench_cluster(args: argparse.Namespace) -> int:
         metrics=registry,
         slo=slo,
         flight=flight,
+        capacity_model=args.capacity_model,
+        perf=_perf_config(args),
     )
     cl = report.cluster
     rows = [
@@ -1189,6 +1277,23 @@ def _cmd_bench_cluster(args: argparse.Namespace) -> int:
             f"{report.recovery.get('recovery_ticks_max', 0.0)}"
         )},
     ]
+    if report.delivery is not None:
+        d = report.delivery
+        lat = d["latency"]
+        def _c(v):
+            return round(v, 1) if v is not None else "-"
+        rows.append({"metric": "delivery model", "value": (
+            f"buffered L={d['config']['lanes']} D={d['config']['buffer_depth']} "
+            f"F={d['config']['flits_per_packet']}"
+            + (" tdm" if d["config"]["tdm"] else "")
+        )})
+        rows.append({"metric": "delivered / offered packets", "value": (
+            f"{d['delivered_packets']} / {d['offered_packets']} "
+            f"({round(d['delivery_ratio'], 4)})"
+        )})
+        rows.append({"metric": "delivery latency p50 / p95 / p99 (cycles)", "value": (
+            f"{_c(lat['p50'])} / {_c(lat['p95'])} / {_c(lat['p99'])}"
+        )})
     print(render_table(
         rows,
         title=f"cluster bench ({args.topology}, N={args.ports} per shard, "

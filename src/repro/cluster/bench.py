@@ -50,6 +50,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotations only
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.slo import SLOEvaluator
     from repro.obs.trace import Tracer
+    from repro.perfmodel.model import PerfModelConfig
     from repro.sim.faults import FaultProcessConfig
 
 __all__ = ["ClusterBenchReport", "run_cluster_bench"]
@@ -85,6 +86,10 @@ class ClusterBenchReport:
     session_counts: dict[str, int] = field(default_factory=dict)
     cluster: dict[str, Any] = field(default_factory=dict)
     per_shard: dict[str, Any] = field(default_factory=dict)
+    #: Cluster-wide buffered-delivery block; ``None`` in abstract mode
+    #: and then absent from ``as_dict`` (abstract output stays byte-
+    #: identical to pre-perfmodel runs).
+    delivery: "dict[str, Any] | None" = None
 
     @property
     def ok(self) -> bool:
@@ -167,6 +172,7 @@ class ClusterBenchReport:
             "session_counts": dict(self.session_counts),
             "cluster": dict(self.cluster),
             "per_shard": dict(self.per_shard),
+            **({"delivery": dict(self.delivery)} if self.delivery is not None else {}),
         }
 
 
@@ -229,6 +235,8 @@ def run_cluster_bench(
     slo: "SLOEvaluator | None" = None,
     flight: "FlightRecorder | None" = None,
     max_ticks: "int | None" = None,
+    capacity_model: str = "abstract",
+    perf: "PerfModelConfig | None" = None,
 ) -> ClusterBenchReport:
     """Run a seeded churn workload against a fresh cluster.
 
@@ -277,6 +285,8 @@ def run_cluster_bench(
         max_batch=max_batch,
         migration_budget=migration_budget,
         churn=churn,
+        capacity_model=capacity_model,
+        perf=perf,
     )
     injectors = []
     if fault_process is not None:
@@ -471,4 +481,5 @@ def run_cluster_bench(
             shard_id: cluster.shards[shard_id].as_dict()
             for shard_id in sorted(cluster.shards)
         },
+        delivery=cluster.delivery_summary(),
     )

@@ -45,6 +45,7 @@ from repro.cluster.directory import DirectoryEntry, EntryState, SessionDirectory
 from repro.cluster.placement import place_shard, rank_shards
 from repro.cluster.rebalance import MigrationQueue, Move, RebalancePlan, plan_rebalance
 from repro.core.churn import ChurnPolicy
+from repro.perfmodel.capacity import DeliveryModel, validate_capacity_model
 from repro.serve.backpressure import ShedPolicy
 from repro.serve.protocol import Priority, RequestKind, ServiceResponse
 from repro.serve.service import FabricService
@@ -61,6 +62,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotations only
     from repro.obs.slo import SLOEvaluator
     from repro.obs.trace import Tracer
     from repro.parallel.cache import RouteCache
+    from repro.perfmodel.model import PerfModelConfig
     from repro.serve.batcher import BatchReport
     from repro.sim.faults import FaultInjector, FaultTransition
 
@@ -200,8 +202,11 @@ class ClusterService:
         max_batch: int = 64,
         tick_interval: float = 1.0,
         migration_budget: int = 8,
+        capacity_model: str = "abstract",
+        perf: "PerfModelConfig | None" = None,
     ):
         check_positive(tick_interval, "tick_interval")
+        validate_capacity_model(capacity_model)
         self._factory = network_factory
         self._retry = retry
         self._rng = ensure_rng(rng)
@@ -219,6 +224,8 @@ class ClusterService:
         self._shed_policy = shed_policy
         self._max_batch = max_batch
         self._tick_interval = tick_interval
+        self._capacity_model = capacity_model
+        self._perf = perf
         self.stats = ClusterStats()
         self._shards: dict[str, ShardInfo] = {}
         self._directory = SessionDirectory()
@@ -289,6 +296,34 @@ class ClusterService:
         return self._churn if self._churn is not None else ChurnPolicy()
 
     @property
+    def capacity_model(self) -> str:
+        """``"abstract"`` or ``"buffered"``, applied uniformly to shards."""
+        return self._capacity_model
+
+    def delivery_summary(self) -> "dict[str, Any] | None":
+        """Cluster-wide buffered-delivery block (``None`` in abstract mode).
+
+        Merges every live shard's per-tick delivery aggregates — counts
+        add, the latency percentiles come from the commutatively merged
+        shard histograms, so the result is independent of shard
+        enumeration order.
+        """
+        if self._capacity_model != "buffered":
+            return None
+        merged = DeliveryModel(self._perf)
+        for shard_id in sorted(self._shards):
+            model = self._shards[shard_id].service.delivery
+            if model is None:
+                continue
+            merged.merge_summary(model.summary())
+            merged.merge_histogram(model)
+        summary = merged.summary()
+        summary["shards"] = sum(
+            1 for s in self._shards.values() if s.service.delivery is not None
+        )
+        return summary
+
+    @property
     def slo(self) -> "SLOEvaluator | None":
         """The attached cluster-level SLO evaluator, or ``None``."""
         return self._slo
@@ -354,6 +389,8 @@ class ClusterService:
             shed_policy=self._shed_policy,
             max_batch=self._max_batch,
             tick_interval=self._tick_interval,
+            capacity_model=self._capacity_model,
+            perf=self._perf,
         )
         self._shards[shard_id] = ShardInfo(shard_id, float(weight), service)
         if self.tracer is not None:

@@ -39,7 +39,13 @@ import numpy as np
 
 from repro.core.conference import Conference
 from repro.core.conflict import ConflictReport
-from repro.core.routing import Route, RoutingPolicy, TapPolicy, UnroutableError, route_conference
+from repro.core.routing import (
+    Route,
+    RoutingPolicy,
+    TapPolicy,
+    UnroutableError,
+    route_conference_sequential,
+)
 from repro.obs.metrics import timed
 from repro.topology.network import MultistageNetwork, Point
 from repro.util.bits import pack_rows
@@ -134,9 +140,17 @@ def route_batch(
 def _route_one(
     net: MultistageNetwork, conf: Conference, policy: RoutingPolicy, dead: frozenset
 ) -> BatchRouteOutcome:
-    """The sequential oracle wrapped in a per-conference outcome."""
+    """The sequential walk wrapped in a per-conference outcome.
+
+    Calls :func:`route_conference_sequential` directly — the public
+    :func:`~repro.core.routing.route_conference` delegates *here* as a
+    batch of one, so routing through it again would recurse.
+    """
     try:
-        return BatchRouteOutcome(conf, route=route_conference(net, conf, policy, faults=dead or None))
+        return BatchRouteOutcome(
+            conf,
+            route=route_conference_sequential(net, conf, policy, faults=dead or None),
+        )
     except ValueError as exc:  # UnroutableError is a ValueError subclass
         return BatchRouteOutcome(conf, error=exc)
 

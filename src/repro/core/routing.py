@@ -45,6 +45,7 @@ __all__ = [
     "Route",
     "UnroutableError",
     "route_conference",
+    "route_conference_sequential",
     "delivered_members",
 ]
 
@@ -332,6 +333,35 @@ def route_conference(
     Returns a :class:`Route`; raises :class:`UnroutableError` when the
     conference cannot be combined on some member's row (only possible
     under faults on the built-in full-access topologies).
+
+    There is a single routing kernel: this delegates to
+    :func:`repro.core.batch.route_batch` as a batch of one (the
+    columnar sweep, byte-identical to the sequential walk — the golden
+    corpus and differential suite hold the two equal per repr byte).
+    :func:`route_conference_sequential` is the original per-object
+    implementation, kept as the differential-test oracle and as the
+    fallback for the cases the kernel does not cover (pruning, > 63
+    members).
+    """
+    from repro.core.batch import route_batch  # circular at module load
+
+    return route_batch(net, [conference], policy, faults)[0].unwrap()
+
+
+def route_conference_sequential(
+    net: MultistageNetwork,
+    conference: Conference,
+    policy: "RoutingPolicy | None" = None,
+    faults: "frozenset | None" = None,
+) -> Route:
+    """The sequential reference implementation of :func:`route_conference`.
+
+    Same contract, same results, same error args — one conference at a
+    time through per-member Python dict sweeps.  The columnar kernel in
+    :mod:`repro.core.batch` is the production path; this walk is the
+    oracle the differential tests compare it against, and the engine
+    for the kernel's fallback cases (``prune=True``, conferences past
+    the 63-member bitmask bound).
     """
     policy = policy or RoutingPolicy()
     dead = frozenset(faults) if faults else frozenset()

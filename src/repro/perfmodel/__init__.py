@@ -1,0 +1,28 @@
+"""Cycle-level buffered-switch performance model.
+
+What the routing core *admits*, this package *delivers*: wormhole lanes
+per inter-stage link, bounded per-lane flit queues with backpressure,
+and an optional TDM frame mode driven by the conflict colouring.  See
+:mod:`repro.perfmodel.model` for the switching discipline and
+:mod:`repro.perfmodel.capacity` for the serve-layer attachment.
+"""
+
+from repro.perfmodel.capacity import DeliveryModel
+from repro.perfmodel.model import (
+    CycleSim,
+    LaneQueue,
+    LinkModel,
+    PerfModelConfig,
+    simulate_delivery,
+)
+from repro.perfmodel.report import PerfReport
+
+__all__ = [
+    "PerfModelConfig",
+    "LaneQueue",
+    "LinkModel",
+    "CycleSim",
+    "PerfReport",
+    "DeliveryModel",
+    "simulate_delivery",
+]

@@ -38,6 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotations only
     from repro.obs.slo import SLOEvaluator
     from repro.obs.trace import Tracer
     from repro.parallel.cache import RouteCache
+    from repro.perfmodel.model import PerfModelConfig
 
 __all__ = ["ServeBenchReport", "run_serve_bench"]
 
@@ -63,6 +64,10 @@ class ServeBenchReport:
     session_counts: dict[str, int] = field(default_factory=dict)
     service: dict[str, Any] = field(default_factory=dict)
     queue: dict[str, int] = field(default_factory=dict)
+    #: Buffered-capacity-model delivery block; ``None`` in abstract mode
+    #: and then absent from ``as_dict`` (abstract output is byte-stable
+    #: across this field's introduction).
+    delivery: "dict[str, Any] | None" = None
 
     @property
     def ok(self) -> bool:
@@ -111,6 +116,7 @@ class ServeBenchReport:
             "session_counts": dict(self.session_counts),
             "service": dict(self.service),
             "queue": dict(self.queue),
+            **({"delivery": dict(self.delivery)} if self.delivery is not None else {}),
         }
 
 
@@ -163,6 +169,8 @@ def run_serve_bench(
     slo: "SLOEvaluator | None" = None,
     flight: "FlightRecorder | None" = None,
     max_ticks: "int | None" = None,
+    capacity_model: str = "abstract",
+    perf: "PerfModelConfig | None" = None,
 ) -> ServeBenchReport:
     """Run a seeded churn workload against a fresh service.
 
@@ -209,6 +217,8 @@ def run_serve_bench(
         shed_policy=shed_policy,
         max_batch=max_batch,
         churn=churn,
+        capacity_model=capacity_model,
+        perf=perf,
     )
     injector = None
     if fault_process is not None:
@@ -351,4 +361,7 @@ def run_serve_bench(
         session_counts=counts,
         service=service.stats.as_dict(),
         queue=service.queue.stats.as_dict(),
+        delivery=(
+            service.delivery.summary() if service.delivery is not None else None
+        ),
     )

@@ -47,6 +47,7 @@ from repro.core.conference import Conference
 from repro.core.healing import RetryPolicy, SelfHealingController
 from repro.core.network import ConferenceNetwork
 from repro.core.routing import UnroutableError
+from repro.perfmodel.capacity import DeliveryModel, validate_capacity_model
 from repro.serve.backpressure import AdmissionQueue, ShedPolicy
 from repro.serve.batcher import Batcher, BatchReport
 from repro.serve.protocol import Priority, RequestKind, ServiceResponse, SessionRequest
@@ -64,6 +65,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotations only
     from repro.obs.slo import SLOEvaluator
     from repro.obs.trace import Tracer
     from repro.parallel.cache import RouteCache
+    from repro.perfmodel.model import PerfModelConfig
     from repro.sim.faults import FaultTransition
 
 __all__ = ["ServiceStats", "FabricService"]
@@ -163,8 +165,11 @@ class FabricService:
         shed_policy: "ShedPolicy | str" = ShedPolicy.REJECT_NEWEST,
         max_batch: int = 64,
         tick_interval: float = 1.0,
+        capacity_model: str = "abstract",
+        perf: "PerfModelConfig | None" = None,
     ):
         check_positive(tick_interval, "tick_interval")
+        validate_capacity_model(capacity_model)
         base = ensure_rng(rng)
         healing_rng, self._rng = base.spawn(2)
         self._network = network
@@ -206,6 +211,16 @@ class FabricService:
         self._completions: dict[int, CompletionCallback] = {}
         self._inflight: set[int] = set()  # queued or backoff-scheduled requests
         self._injector: "FaultInjector | None" = None
+        # The buffered capacity model is a per-tick observation overlay
+        # (see repro.perfmodel.capacity): in the default "abstract" mode
+        # nothing is built and no tick-path branch is taken beyond one
+        # None check, keeping behaviour byte-identical.
+        self._capacity_model = capacity_model
+        self._delivery = (
+            DeliveryModel(perf, metrics=metrics)
+            if capacity_model == "buffered"
+            else None
+        )
         self._healing.on_drop = self._on_drop
         self._healing.on_restore = self._on_restore
         self._healing.on_lost = self._on_lost
@@ -231,6 +246,16 @@ class FabricService:
     def churn_policy(self) -> ChurnPolicy:
         """How join/leave reshape live routes (incremental vs full)."""
         return self._healing.churn_policy
+
+    @property
+    def capacity_model(self) -> str:
+        """``"abstract"`` (admission ledger only) or ``"buffered"``."""
+        return self._capacity_model
+
+    @property
+    def delivery(self) -> "DeliveryModel | None":
+        """The buffered-switch delivery overlay (``None`` in abstract mode)."""
+        return self._delivery
 
     @property
     def slo(self) -> "SLOEvaluator | None":
@@ -442,6 +467,11 @@ class FabricService:
         self._reconcile_degraded()
         self.stats.ticks += 1
         self._observe(report)
+        if self._delivery is not None:
+            healing = self._healing
+            self._delivery.on_tick(
+                [healing.route_of(cid) for cid in healing.live_conferences]
+            )
         if self._slo is not None:
             self._slo_tick()
         return report

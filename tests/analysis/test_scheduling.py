@@ -1,8 +1,11 @@
 """Tests for time-slot scheduling (the TDM alternative to dilation)."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.analysis.scheduling import conflict_graph, schedule_slots
+from repro.core.conflict import analyze_conflicts
 from repro.analysis.worstcase import cube_adversarial_set
 from repro.core.conference import Conference
 from repro.core.conflict import link_loads
@@ -82,3 +85,67 @@ class TestScheduleSlots:
             routes = routes_for(net, uniform_partition(32, load=0.75, seed=seed))
             res = schedule_slots(routes)
             assert res.clique_bound <= res.n_slots <= res.clique_bound + 2
+
+
+class TestEdgeCases:
+    """Edge inputs the TDM capacity model feeds in live operation."""
+
+    def test_empty_routes_with_explicit_strategy(self):
+        res = schedule_slots([], strategy="largest_first")
+        assert res.n_slots == 0 and res.slots == {}
+        assert res.clique_bound == 0
+        assert res.strategy == "largest_first"
+
+    def test_unknown_strategy_rejected_even_on_empty_input(self):
+        # Strategy validation must not be short-circuited by the
+        # empty-routes early return: between sessions the live route
+        # set is legitimately empty, and a typo'd strategy should fail
+        # loudly there too, not only under load.
+        with pytest.raises(ValueError, match="rainbow"):
+            schedule_slots([], strategy="rainbow")
+
+    def test_single_conference_graph(self):
+        net = build("indirect-binary-cube", 16)
+        (route,) = routes_for(net, [Conference.of((0, 5, 9), 7)])
+        res = schedule_slots([route])
+        assert res.slots == {7: 0}
+        assert res.n_slots == 1
+        assert res.clique_bound == 1
+        assert res.optimal
+        assert res.conferences_in_slot(0) == (7,)
+        assert res.conferences_in_slot(1) == ()
+
+    def test_single_conference_graph_has_no_edges(self):
+        net = build("omega", 16)
+        (route,) = routes_for(net, [Conference.of((1, 2, 3), 0)])
+        g = conflict_graph([route])
+        assert set(g.nodes) == {0}
+        assert g.number_of_edges() == 0
+
+
+class TestSlotCountProperty:
+    """Hypothesis: the frame is never shorter than the multiplicity bound."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        groups=st.lists(
+            st.sets(st.integers(min_value=0, max_value=15), min_size=2, max_size=5),
+            min_size=1,
+            max_size=10,
+        ),
+        topology=st.sampled_from(["omega", "indirect-binary-cube"]),
+        strategy=st.sampled_from(["DSATUR", "largest_first"]),
+    )
+    def test_slots_at_least_max_link_multiplicity(self, groups, topology, strategy):
+        net = build(topology, 16)
+        routes = routes_for(
+            net, [Conference.of(sorted(g), cid) for cid, g in enumerate(groups)]
+        )
+        res = schedule_slots(routes, strategy=strategy)
+        bound = analyze_conflicts(routes).max_multiplicity
+        # A link shared by m conferences forces m distinct slots: no
+        # valid colouring can be shorter than the largest multiplicity.
+        assert res.n_slots >= bound
+        assert res.clique_bound == max(bound, 1)
+        # And the schedule is a function of exactly the conference ids.
+        assert set(res.slots) == {r.conference.conference_id for r in routes}

@@ -31,7 +31,11 @@ from repro.core.conference import Conference
 from repro.core.conflict import ConflictReport, analyze_conflicts, link_loads
 from repro.core.healing import SelfHealingController
 from repro.core.network import ConferenceNetwork
-from repro.core.routing import RoutingPolicy, UnroutableError, route_conference
+from repro.core.routing import (
+    RoutingPolicy,
+    UnroutableError,
+    route_conference_sequential,
+)
 from repro.sim.engine import EventLoop
 from repro.topology.builders import build
 from repro.util.rng import ensure_rng
@@ -53,13 +57,18 @@ def random_batch(n_ports, rng, size, max_members=6):
 
 
 def sequential_outcomes(net, batch, policy=None, faults=None):
-    """The per-object oracle: one ``route_conference`` call at a time."""
+    """The per-object oracle: one sequential-walk call at a time.
+
+    Uses ``route_conference_sequential`` directly — the public
+    ``route_conference`` now routes through the kernel as a batch of
+    one, so comparing against it would be kernel-vs-kernel.
+    """
     policy = policy or RoutingPolicy()
     dead = frozenset(faults or ())
     out = []
     for conf in batch:
         try:
-            route = route_conference(net, conf, policy, faults=dead or None)
+            route = route_conference_sequential(net, conf, policy, faults=dead or None)
             out.append(BatchRouteOutcome(conf, route=route))
         except ValueError as exc:  # UnroutableError is a ValueError subclass
             out.append(BatchRouteOutcome(conf, error=exc))

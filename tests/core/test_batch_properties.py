@@ -20,7 +20,7 @@ from hypothesis import strategies as st
 from repro.core.batch import occupancy_words, route_batch, stage_occupancy
 from repro.core.conference import Conference
 from repro.core.conflict import link_loads
-from repro.core.routing import RoutingPolicy, route_conference
+from repro.core.routing import RoutingPolicy, route_conference_sequential
 from repro.topology.builders import build
 from repro.util.bits import pack_rows, unpack_rows
 
@@ -81,7 +81,7 @@ class TestBatchingIsPure:
         for conf, outcome in zip(batch, outcomes):
             assert outcome.conference is conf
             assert repr(outcome.unwrap()) == repr(
-                route_conference(net, conf, policy)
+                route_conference_sequential(net, conf, policy)
             )
 
 

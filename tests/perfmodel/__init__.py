@@ -1,0 +1,1 @@
+"""Tests for the cycle-level buffered-switch performance model."""
